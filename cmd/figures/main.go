@@ -1,0 +1,62 @@
+// Command figures regenerates the paper's evaluation artifacts: every
+// figure of Sections 3 and 6 plus the Section 4.3 and Section 5 studies.
+//
+// Usage:
+//
+//	figures -fig 12         # one experiment (fig3 fig5 fig6 fig12 fig13
+//	                        #  fig14 fig15 fig16 fig17 alg1 knn)
+//	figures -fig all        # everything, in paper order
+//	figures -fig knn -trials 1000
+//	figures -fig 12 -csv    # machine-readable table output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"igosim/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))
+		trials = flag.Int("trials", experiments.DefaultKNNTrials, "KNN study repetitions")
+		csv    = flag.Bool("csv", false, "emit tables as CSV")
+		timing = flag.Bool("time", false, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	ids := experiments.IDs()
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		var rep experiments.Report
+		var err error
+		if strings.EqualFold(id, "knn") || strings.EqualFold(id, "sec5") {
+			rep = experiments.KNNSelection(*trials)
+		} else {
+			rep, err = experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.Table.CSV())
+			for _, s := range rep.Summary {
+				fmt.Println("#", s)
+			}
+		} else {
+			fmt.Println(rep)
+		}
+		if *timing {
+			fmt.Printf("[%s took %.1fs]\n\n", rep.ID, time.Since(start).Seconds())
+		}
+	}
+}

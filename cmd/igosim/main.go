@@ -1,0 +1,161 @@
+// Command igosim simulates one training step of a DNN workload on an NPU
+// configuration under a chosen interleaved-gradient-order policy, printing
+// per-layer and total cycles and DRAM traffic.
+//
+// Usage:
+//
+//	igosim -config large -model res -policy partition -cores 1 [-layers]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/dram"
+	"igosim/internal/energy"
+	"igosim/internal/sim"
+	"igosim/internal/workload"
+)
+
+func main() {
+	var (
+		cfgName   = flag.String("config", "large", "NPU config: small, large, gpu")
+		modelName = flag.String("model", "res", "model abbreviation from Table 4 (rcnn goo ncf res dlrm mob yolo bert T5) or 'all'")
+		polName   = flag.String("policy", "partition", "policy: baseline, interleave, rearrange, partition")
+		cores     = flag.Int("cores", 1, "number of NPU cores (large config only)")
+		bandwidth = flag.Float64("bw", 0, "override per-core DRAM bandwidth in GB/s (0 = preset)")
+		batch     = flag.Int("batch", 0, "override per-core batch size (0 = preset)")
+		perLayer  = flag.Bool("layers", false, "print per-layer breakdown")
+		withNRG   = flag.Bool("energy", false, "print an energy estimate (45nm coefficients)")
+	)
+	flag.Parse()
+
+	cfg, suite, err := resolveConfig(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	if *cores > 1 {
+		cfg = cfg.WithCores(*cores)
+	}
+	if *bandwidth > 0 {
+		cfg = cfg.WithBandwidth(*bandwidth * 1e9)
+	}
+	if *batch > 0 {
+		cfg = cfg.WithBatch(*batch)
+	}
+	pol, err := resolvePolicy(*polName)
+	if err != nil {
+		fatal(err)
+	}
+
+	models := suite
+	if *modelName != "all" {
+		m, err := workload.ByAbbr(suite, *modelName)
+		if err != nil {
+			fatal(err)
+		}
+		models = []workload.Model{m}
+	}
+
+	fmt.Printf("config %s: %dx(%dx%d PE), %.1f GB/s/core, %s SPM/core, batch %d/core\n\n",
+		cfg.Name, cfg.Cores, cfg.ArrayRows, cfg.ArrayCols, cfg.DRAMBandwidth/1e9,
+		fmtBytes(cfg.SPMBytes), cfg.Batch)
+
+	for _, m := range models {
+		base := core.RunTraining(cfg, sim.Options{}, m, core.PolBaseline)
+		run := base
+		if pol != core.PolBaseline {
+			run = core.RunTraining(cfg, sim.Options{}, m, pol)
+		}
+		fmt.Printf("%-5s  policy=%-17s fwd %12d cyc   bwd %12d cyc   total %12d cyc   (%.3f ms)\n",
+			m.Abbr, run.Policy, run.FwdCycles, run.BwdCycles, run.TotalCycles(),
+			run.Seconds(cfg)*1e3)
+		if pol != core.PolBaseline {
+			fmt.Printf("       vs baseline: %+.1f%% execution time reduction (baseline %d cyc)\n",
+				100*core.Improvement(base, run), base.TotalCycles())
+		}
+		fmt.Printf("       bwd traffic: %s total | dY %s (%.1f%% of reads) | spills(acc) %s\n",
+			fmtBytes(run.BwdTraffic.Total()),
+			fmtBytes(run.BwdTraffic.Read[dram.ClassDY]),
+			100*run.BwdTraffic.ReadShare(dram.ClassDY),
+			fmtBytes(run.BwdTraffic.Read[dram.ClassAcc]+run.BwdTraffic.Write[dram.ClassAcc]))
+		if *withNRG {
+			em := energy.Default45nm()
+			b := em.TrainingStep(run)
+			fmt.Printf("       energy: %.2f mJ/step (DRAM %.2f, SPM %.2f, compute %.2f, static %.2f)",
+				b.Total()*1e3, b.DRAM*1e3, b.SPM*1e3, b.Compute*1e3, b.Static*1e3)
+			if pol != core.PolBaseline {
+				fmt.Printf(" | %.1f%% saved vs baseline", 100*em.Savings(base, run))
+			}
+			fmt.Println()
+		}
+		if *perLayer {
+			printLayers(base, run)
+		}
+		fmt.Println()
+	}
+}
+
+func printLayers(base, run core.ModelRun) {
+	fmt.Printf("       %-22s %14s %14s %8s  %-20s %s\n",
+		"layer (M,K,N)", "base bwd cyc", "bwd cyc", "speedup", "order", "scheme")
+	for i := range run.Bwd {
+		b, r := base.Bwd[i], run.Bwd[i]
+		sp := 1.0
+		if r.Cycles > 0 {
+			sp = float64(b.Cycles) / float64(r.Cycles)
+		}
+		fmt.Printf("       %-22s %14d %14d %7.2fx  %-20s %s/%d\n",
+			fmt.Sprintf("%s(%d,%d,%d)", r.Name, r.Dims.M, r.Dims.K, r.Dims.N),
+			b.Cycles, r.Cycles, sp, r.Order, r.Scheme, r.Parts)
+	}
+}
+
+func resolveConfig(name string) (config.NPU, []workload.Model, error) {
+	switch name {
+	case "small", "edge":
+		return config.SmallNPU(), workload.EdgeSuite(), nil
+	case "large", "server":
+		return config.LargeNPU(), workload.ServerSuite(), nil
+	case "gpu":
+		return config.GPULike(), workload.EdgeSuite(), nil
+	default:
+		return config.NPU{}, nil, fmt.Errorf("unknown config %q (want small, large, gpu)", name)
+	}
+}
+
+func resolvePolicy(name string) (core.Policy, error) {
+	switch name {
+	case "baseline":
+		return core.PolBaseline, nil
+	case "interleave", "interleaving":
+		return core.PolInterleave, nil
+	case "rearrange", "rearrangement":
+		return core.PolRearrange, nil
+	case "partition", "partitioning":
+		return core.PolPartition, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "igosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command modelinfo dumps the model zoo of Table 4: every workload's
+// trainable layers lowered to GEMM dimensions, plus parameter counts.
+//
+// Usage:
+//
+//	modelinfo -suite server            # summary of all server models
+//	modelinfo -suite edge -model yolo  # per-layer dump of one model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"igosim/internal/stats"
+	"igosim/internal/workload"
+)
+
+func main() {
+	var (
+		suiteName = flag.String("suite", "server", "workload suite: edge or server")
+		modelName = flag.String("model", "", "dump one model's layers (Table 4 abbreviation)")
+		batch     = flag.Int("batch", 8, "base batch size for layer dimensions")
+	)
+	flag.Parse()
+
+	suite, err := workload.SuiteFor(*suiteName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelinfo:", err)
+		os.Exit(1)
+	}
+
+	if *modelName == "" {
+		t := stats.NewTable("abbr", "model", "layers", "GEMM params", "GEMM MACs/step")
+		for _, m := range suite {
+			layers := m.Layers(*batch)
+			var flops int64
+			for _, l := range layers {
+				flops += l.Dims.FLOPs()
+			}
+			t.AddRowF("%s", m.Abbr, "%s", m.Name, "%d", len(layers), "%d", m.Params(), "%d", flops)
+		}
+		fmt.Print(t)
+		return
+	}
+
+	m, err := workload.ByAbbr(suite, *modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (%s), batch %d\n\n", m.Name, m.Abbr, *batch)
+	t := stats.NewTable("#", "layer", "M", "K", "N", "params", "xreuse", "notes")
+	for i, l := range m.Layers(*batch) {
+		notes := ""
+		if l.SkipDX {
+			notes = "first layer: dW only"
+		}
+		xr := 1.0
+		if l.XReuse > 0 {
+			xr = l.XReuse
+		}
+		t.AddRowF("%d", i, "%s", l.Name, "%d", l.Dims.M, "%d", l.Dims.K, "%d", l.Dims.N,
+			"%d", l.Dims.SizeW(), "%.3f", xr, "%s", notes)
+	}
+	fmt.Print(t)
+}

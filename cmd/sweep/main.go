@@ -1,0 +1,104 @@
+// Command sweep explores the NPU design space: it measures the interleaved
+// gradient order's benefit over a grid of DRAM bandwidths, scratchpad sizes
+// and core counts, for any zoo model. Architects use it to find where
+// on-chip reuse pays (Section 6.4's trend study, generalized).
+//
+// Usage:
+//
+//	sweep -model res -bw 300,150,75,37.5 -spm 4,8,16 -cores 1
+//	sweep -model bert-base -suite server -cores 1,2,4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"igosim/internal/analytic"
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+	"igosim/internal/workload"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "res", "model abbreviation (Table 4 or variant: bert-base, T5-base, yolo-s, res18)")
+		suiteName = flag.String("suite", "server", "zoo suite for size variants: edge or server")
+		bwList    = flag.String("bw", "300,150,75,37.5", "per-core DRAM bandwidths to sweep, GB/s")
+		spmList   = flag.String("spm", "8", "per-core SPM sizes to sweep, MiB")
+		coreList  = flag.String("cores", "1", "core counts to sweep")
+		csv       = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	model, err := workload.FindModel(*suiteName, *modelName)
+	if err != nil {
+		fatal(err)
+	}
+	bws, err := parseFloats(*bwList)
+	if err != nil {
+		fatal(err)
+	}
+	spms, err := parseFloats(*spmList)
+	if err != nil {
+		fatal(err)
+	}
+	cores, err := parseFloats(*coreList)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.NewTable("cores", "bw GB/s", "spm MiB", "base ms", "igo ms", "reduction%", "ridge MACs/B")
+	for _, nc := range cores {
+		for _, bw := range bws {
+			for _, spm := range spms {
+				cfg := config.LargeNPU().WithCores(int(nc)).WithBandwidth(bw * 1e9)
+				cfg.SPMBytes = int64(spm * float64(1<<20))
+				cfg.Name = fmt.Sprintf("sweep-%gc-%gGB-%gMiB", nc, bw, spm)
+				if err := cfg.Validate(); err != nil {
+					fatal(err)
+				}
+				base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
+				igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
+				t.AddRowF(
+					"%.0f", nc,
+					"%.1f", bw,
+					"%.0f", spm,
+					"%.2f", base.Seconds(cfg)*1e3,
+					"%.2f", igo.Seconds(cfg)*1e3,
+					"%.1f", 100*core.Improvement(base, igo),
+					"%.0f", analytic.Ridge(cfg),
+				)
+			}
+		}
+	}
+
+	fmt.Printf("design-space sweep: %s (%s)\n\n", model.Name, model.Abbr)
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("sweep: bad list entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

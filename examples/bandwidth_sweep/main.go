@@ -1,0 +1,60 @@
+// Bandwidth/SPM design-space sweep: the paper argues (Section 6.4) that
+// data reuse matters more as bandwidth per PE shrinks — the TPU trend. This
+// example sweeps DRAM bandwidth and scratchpad size on a custom single-core
+// server NPU, maps where the interleaved gradient order pays off, and finds
+// the bandwidth below which its benefit exceeds 15% — the kind of study a
+// hardware architect would run with this library.
+package main
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/workload"
+)
+
+func main() {
+	model, err := workload.ByAbbr(workload.ServerSuite(), "res")
+	if err != nil {
+		panic(err)
+	}
+
+	bandwidths := []float64{300e9, 150e9, 75e9, 37.5e9}
+	spmSizes := []int64{4 << 20, 8 << 20, 16 << 20}
+
+	fmt.Printf("IGO execution-time reduction for %s, single server core\n\n", model.Name)
+	fmt.Printf("%12s", "BW \\ SPM")
+	for _, spm := range spmSizes {
+		fmt.Printf(" %9d MiB", spm>>20)
+	}
+	fmt.Println()
+
+	var crossover float64
+	for _, bw := range bandwidths {
+		fmt.Printf("%9.1f GB/s", bw/1e9)
+		for _, spm := range spmSizes {
+			cfg := config.LargeNPU().WithBandwidth(bw)
+			cfg.SPMBytes = spm
+			cfg.Name = fmt.Sprintf("custom-%dMiB", spm>>20)
+
+			base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
+			igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
+			imp := core.Improvement(base, igo)
+			fmt.Printf(" %12.1f%%", 100*imp)
+			if spm == 8<<20 && imp > 0.15 && crossover == 0 {
+				crossover = bw
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	if crossover > 0 {
+		fmt.Printf("With the 8 MiB scratchpad, IGO buys >15%% once bandwidth drops to %.1f GB/s per core —\n", crossover/1e9)
+		fmt.Println("the regime TPUv4 already lives in (150 GB/s per MXU, down from 350 in TPUv2).")
+	} else {
+		fmt.Println("The >15% regime starts below the swept bandwidth range for this model.")
+	}
+}

@@ -1,0 +1,51 @@
+// Federated-edge scenario: the paper's introduction motivates on-device
+// training for personalization and federated learning, where each edge
+// device computes model updates locally. This example sizes a federated
+// round on the Ethos-class edge NPU: fine-tuning BERT-tiny and MobileNet
+// locally, it reports per-step time and DRAM traffic (the dominant energy
+// term on edge silicon) with and without the interleaved gradient order.
+package main
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/workload"
+)
+
+const (
+	stepsPerRound = 50 // local SGD steps per federated round
+)
+
+func main() {
+	cfg := config.SmallNPU()
+	suite := workload.EdgeSuite()
+
+	fmt.Printf("Federated round on %s: %d local steps, batch %d\n\n",
+		cfg.Name, stepsPerRound, cfg.Batch)
+
+	for _, abbr := range []string{"bert", "mob"} {
+		model, err := workload.ByAbbr(suite, abbr)
+		if err != nil {
+			panic(err)
+		}
+		base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
+		igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
+
+		baseRound := base.Seconds(cfg) * stepsPerRound
+		igoRound := igo.Seconds(cfg) * stepsPerRound
+		baseGB := float64(base.BwdTraffic.Total()) * stepsPerRound / 1e9
+		igoGB := float64(igo.BwdTraffic.Total()) * stepsPerRound / 1e9
+
+		fmt.Printf("%s (%s):\n", model.Name, model.Abbr)
+		fmt.Printf("  baseline: %7.1f ms/round, %6.2f GB backward DRAM traffic\n", baseRound*1e3, baseGB)
+		fmt.Printf("  IGO:      %7.1f ms/round, %6.2f GB backward DRAM traffic\n", igoRound*1e3, igoGB)
+		fmt.Printf("  round time reduced %.1f%%, backward traffic reduced %.1f%%\n\n",
+			100*(1-igoRound/baseRound), 100*(1-igoGB/baseGB))
+	}
+
+	fmt.Println("Traffic reductions translate almost directly to energy on edge")
+	fmt.Println("devices, where DRAM access dominates the power budget.")
+}

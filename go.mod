@@ -1,0 +1,3 @@
+module igosim
+
+go 1.22

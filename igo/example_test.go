@@ -1,0 +1,50 @@
+package igo_test
+
+import (
+	"fmt"
+
+	"igosim/igo"
+)
+
+// ExampleSelectOrder shows Algorithm 1's static decision on three layer
+// shapes: nearly square, M-heavy, and N-heavy.
+func ExampleSelectOrder() {
+	fmt.Println(igo.SelectOrder(igo.Dims{M: 512, K: 512, N: 512}))
+	fmt.Println(igo.SelectOrder(igo.Dims{M: 25088, K: 64, N: 256}))
+	fmt.Println(igo.SelectOrder(igo.Dims{M: 64, K: 512, N: 4096}))
+	// Output:
+	// interleave
+	// interleave+dXmajor
+	// interleave+dWmajor
+}
+
+// ExampleTrain runs the paper's headline comparison on the smallest zoo
+// model and reports whether the full stack wins.
+func ExampleTrain() {
+	cfg := igo.SmallNPU()
+	model, _ := igo.ModelByName(igo.EdgeSuite(), "ncf")
+	base := igo.Train(cfg, model, igo.Baseline)
+	fast := igo.Train(cfg, model, igo.Partition)
+	fmt.Println(igo.Improvement(base, fast) >= 0)
+	// Output:
+	// true
+}
+
+// ExampleRooflineRidge shows the large NPU's balance point: layers with
+// fewer MACs per DRAM byte than this are memory-bound.
+func ExampleRooflineRidge() {
+	ridge := igo.RooflineRidge(igo.LargeNPU())
+	fmt.Println(ridge > 100 && ridge < 130)
+	// Output:
+	// true
+}
+
+// ExampleAnalyze classifies a skinny fully connected layer.
+func ExampleAnalyze() {
+	cfg := igo.LargeNPU()
+	layer := igo.Layer{Name: "fc", Dims: igo.Dims{M: 8, K: 4096, N: 1000}}
+	a := igo.Analyze(cfg, layer)
+	fmt.Println(a.Classify(cfg))
+	// Output:
+	// memory-bound
+}

@@ -1,0 +1,106 @@
+package igo_test
+
+import (
+	"testing"
+
+	"igosim/igo"
+)
+
+// The public-API tests exercise the package exactly as a downstream user
+// would: presets, zoo lookup, training under each policy level, and the
+// headline improvement metric.
+
+func smallFastConfig() igo.Config {
+	cfg := igo.SmallNPU()
+	return cfg
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := smallFastConfig()
+	model, err := igo.ModelByName(igo.EdgeSuite(), "ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := igo.Train(cfg, model, igo.Baseline)
+	fast := igo.Train(cfg, model, igo.Partition)
+	if base.TotalCycles() <= 0 {
+		t.Fatal("baseline produced no work")
+	}
+	if imp := igo.Improvement(base, fast); imp < 0 {
+		t.Fatalf("full stack slower than baseline: %+.1f%%", 100*imp)
+	}
+}
+
+func TestPublicPolicyLevelsRun(t *testing.T) {
+	cfg := smallFastConfig()
+	model, err := igo.ModelByName(igo.EdgeSuite(), "dlrm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev igo.ModelRun
+	for i, pol := range []igo.Policy{igo.Baseline, igo.Interleave, igo.Rearrange, igo.Partition} {
+		run := igo.Train(cfg, model, pol)
+		if run.Policy != pol {
+			t.Fatalf("policy echo: %v != %v", run.Policy, pol)
+		}
+		if len(run.Bwd) == 0 {
+			t.Fatal("no per-layer outcomes")
+		}
+		if i > 0 && run.FwdCycles != prev.FwdCycles {
+			t.Fatal("forward pass must be policy independent")
+		}
+		prev = run
+	}
+}
+
+func TestPublicSuitesAndLookup(t *testing.T) {
+	if len(igo.EdgeSuite()) != 9 || len(igo.ServerSuite()) != 9 {
+		t.Fatal("suites incomplete")
+	}
+	if _, err := igo.ModelByName(igo.ServerSuite(), "not-a-model"); err == nil {
+		t.Fatal("bad lookup accepted")
+	}
+}
+
+func TestPublicSelectOrder(t *testing.T) {
+	if igo.SelectOrder(igo.Dims{M: 128, K: 128, N: 128}) != igo.OnlyInterleave {
+		t.Fatal("square layer should keep plain interleaving")
+	}
+	if igo.SelectOrder(igo.Dims{M: 65536, K: 64, N: 64}) != igo.DXMajor {
+		t.Fatal("M-heavy layer should pick dXmajor")
+	}
+}
+
+func TestPublicBackwardOnly(t *testing.T) {
+	cfg := smallFastConfig()
+	model, _ := igo.ModelByName(igo.EdgeSuite(), "ncf")
+	run := igo.TrainBackwardOnly(cfg, model, igo.Baseline)
+	if run.FwdCycles != 0 {
+		t.Fatal("backward-only run simulated the forward pass")
+	}
+	if run.BwdCycles <= 0 {
+		t.Fatal("backward-only run did no work")
+	}
+}
+
+func TestPublicCustomConfig(t *testing.T) {
+	cfg := igo.LargeNPU().WithCores(2).WithBatch(4).WithBandwidth(75e9)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	model, _ := igo.ModelByName(igo.ServerSuite(), "ncf")
+	run := igo.Train(cfg, model, igo.Partition)
+	if run.TotalCycles() <= 0 {
+		t.Fatal("custom config run failed")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := igo.Experiments()
+	if len(ids) != 11 {
+		t.Fatalf("experiment registry has %d entries", len(ids))
+	}
+	if _, err := igo.Experiment("bogus"); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package analytic provides closed-form first-order models of the backward
+// pass: per-layer traffic lower bounds, arithmetic intensity, and roofline
+// classification. Architects use it for instant design-space scans; the
+// test suite uses it to cross-validate the cycle simulator — a simulated
+// run can never move less data than the compulsory bound, and a fused
+// schedule can never beat the single-pass dY bound.
+package analytic
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/tensor"
+)
+
+// LayerModel is the closed-form view of one layer's backward pass.
+type LayerModel struct {
+	Dims tensor.Dims
+	// ElemBytes is the datatype width.
+	ElemBytes int
+	// XReuse scales X/dX bytes to the unique feature-map bytes behind the
+	// im2col expansion (0 means 1).
+	XReuse float64
+}
+
+func (l LayerModel) xBytes() float64 {
+	b := float64(l.Dims.SizeX()) * float64(l.ElemBytes)
+	if l.XReuse > 0 && l.XReuse < 1 {
+		b *= l.XReuse
+	}
+	return b
+}
+
+func (l LayerModel) wBytes() float64  { return float64(l.Dims.SizeW()) * float64(l.ElemBytes) }
+func (l LayerModel) dyBytes() float64 { return float64(l.Dims.SizeY()) * float64(l.ElemBytes) }
+
+// CompulsoryTraffic returns the information-theoretic minimum DRAM bytes of
+// the backward pass: every operand read once (dY once — the fused
+// optimum), every gradient written once.
+func (l LayerModel) CompulsoryTraffic() float64 {
+	reads := l.dyBytes() + l.xBytes() + l.wBytes()
+	writes := l.xBytes() + l.wBytes() // dX and dW
+	return reads + writes
+}
+
+// SequentialTraffic returns the minimum DRAM bytes of the *sequential*
+// baseline, whose two kernels each stage dY independently: dY is read
+// twice (the Figure 4 redundancy the paper removes).
+func (l LayerModel) SequentialTraffic() float64 {
+	return l.CompulsoryTraffic() + l.dyBytes()
+}
+
+// DYSavingsBound returns the largest possible fractional traffic reduction
+// interleaving can deliver against the sequential minimum: one dY pass.
+func (l LayerModel) DYSavingsBound() float64 {
+	seq := l.SequentialTraffic()
+	if seq == 0 {
+		return 0
+	}
+	return l.dyBytes() / seq
+}
+
+// MACs returns the multiply-accumulate count of the backward pass (two
+// GEMMs).
+func (l LayerModel) MACs() float64 { return float64(l.Dims.FLOPs()) }
+
+// ArithmeticIntensity returns backward MACs per compulsory DRAM byte.
+func (l LayerModel) ArithmeticIntensity() float64 {
+	t := l.CompulsoryTraffic()
+	if t == 0 {
+		return 0
+	}
+	return l.MACs() / t
+}
+
+// Bound classifies a layer on a configuration's roofline.
+type Bound uint8
+
+const (
+	// MemoryBound layers cannot hide their compulsory traffic behind
+	// compute even with perfect overlap.
+	MemoryBound Bound = iota
+	// ComputeBound layers saturate the PE array.
+	ComputeBound
+)
+
+func (b Bound) String() string {
+	if b == ComputeBound {
+		return "compute-bound"
+	}
+	return "memory-bound"
+}
+
+// Ridge returns the configuration's roofline ridge point in MACs per byte:
+// layers below it are memory-bound.
+func Ridge(cfg config.NPU) float64 {
+	macsPerSec := float64(cfg.PeakMACsPerCycle()) * cfg.FrequencyHz
+	return macsPerSec / cfg.DRAMBandwidth
+}
+
+// Classify places the layer on cfg's roofline using compulsory traffic —
+// the most favourable case; a layer that is memory-bound here is
+// memory-bound under every real schedule.
+func (l LayerModel) Classify(cfg config.NPU) Bound {
+	if l.ArithmeticIntensity() < Ridge(cfg) {
+		return MemoryBound
+	}
+	return ComputeBound
+}
+
+// MinSeconds returns the roofline execution-time lower bound of the
+// backward pass under cfg (single core): max of compute time at peak and
+// compulsory traffic at full bandwidth.
+func (l LayerModel) MinSeconds(cfg config.NPU) float64 {
+	compute := l.MACs() / (float64(cfg.PeakMACsPerCycle()) * cfg.FrequencyHz)
+	memory := l.CompulsoryTraffic() / cfg.DRAMBandwidth
+	return max(compute, memory)
+}
+
+// MinSecondsSequential is MinSeconds with the sequential baseline's
+// double-dY traffic.
+func (l LayerModel) MinSecondsSequential(cfg config.NPU) float64 {
+	compute := l.MACs() / (float64(cfg.PeakMACsPerCycle()) * cfg.FrequencyHz)
+	memory := l.SequentialTraffic() / cfg.DRAMBandwidth
+	return max(compute, memory)
+}
+
+// SpeedupBound returns the best-case speedup of perfect dY reuse over the
+// sequential minimum on cfg — the analytic analogue of the paper's
+// Figure 6 limit study.
+func (l LayerModel) SpeedupBound(cfg config.NPU) float64 {
+	ideal := l.MinSeconds(cfg)
+	if ideal == 0 {
+		return 1
+	}
+	return l.MinSecondsSequential(cfg) / ideal
+}
+
+func (l LayerModel) String() string {
+	return fmt.Sprintf("analytic{%v, AI=%.1f MACs/B}", l.Dims, l.ArithmeticIntensity())
+}

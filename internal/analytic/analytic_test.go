@@ -1,0 +1,126 @@
+package analytic
+
+import (
+	"testing"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/tensor"
+	"igosim/internal/workload"
+)
+
+func TestCompulsoryTraffic(t *testing.T) {
+	l := LayerModel{Dims: tensor.Dims{M: 10, K: 20, N: 30}, ElemBytes: 4}
+	// reads: dY 1200 + X 800 + W 2400; writes: dX 800 + dW 2400.
+	if got := l.CompulsoryTraffic(); got != 7600 {
+		t.Fatalf("compulsory = %g", got)
+	}
+	if got := l.SequentialTraffic(); got != 7600+1200 {
+		t.Fatalf("sequential = %g", got)
+	}
+}
+
+func TestXReuseScalesBound(t *testing.T) {
+	base := LayerModel{Dims: tensor.Dims{M: 9, K: 9, N: 9}, ElemBytes: 4}
+	conv := base
+	conv.XReuse = 1.0 / 9
+	if conv.CompulsoryTraffic() >= base.CompulsoryTraffic() {
+		t.Fatal("im2col reuse must lower the bound")
+	}
+}
+
+func TestDYSavingsBoundRange(t *testing.T) {
+	l := LayerModel{Dims: tensor.Dims{M: 4096, K: 16, N: 4096}, ElemBytes: 4}
+	s := l.DYSavingsBound()
+	if s <= 0 || s >= 0.5 {
+		t.Fatalf("savings bound %g out of (0, 0.5)", s)
+	}
+}
+
+func TestRidge(t *testing.T) {
+	cfg := config.LargeNPU()
+	// 16384 MACs/cycle * 1.05 GHz / 150 GB/s ~= 114.7 MACs per byte.
+	r := Ridge(cfg)
+	if r < 100 || r > 130 {
+		t.Fatalf("ridge = %g", r)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cfg := config.LargeNPU()
+	// A skinny FC layer is memory-bound; a giant square GEMM is
+	// compute-bound.
+	fc := LayerModel{Dims: tensor.Dims{M: 8, K: 4096, N: 1000}, ElemBytes: 4}
+	if fc.Classify(cfg) != MemoryBound {
+		t.Fatal("skinny FC should be memory-bound")
+	}
+	big := LayerModel{Dims: tensor.Dims{M: 8192, K: 8192, N: 8192}, ElemBytes: 4}
+	if big.Classify(cfg) != ComputeBound {
+		t.Fatal("giant GEMM should be compute-bound")
+	}
+	if MemoryBound.String() == ComputeBound.String() {
+		t.Fatal("bound names must differ")
+	}
+}
+
+func TestSpeedupBoundAtLeastOne(t *testing.T) {
+	cfg := config.SmallNPU()
+	for _, d := range []tensor.Dims{
+		{M: 8, K: 64, N: 64}, {M: 4096, K: 64, N: 4096}, {M: 512, K: 512, N: 512},
+	} {
+		l := LayerModel{Dims: d, ElemBytes: 4}
+		if sp := l.SpeedupBound(cfg); sp < 1 {
+			t.Fatalf("%v: speedup bound %g < 1", d, sp)
+		}
+	}
+}
+
+// TestSimulatorRespectsLowerBounds cross-validates the cycle simulator:
+// no simulated backward pass may move less DRAM data than the compulsory
+// bound, and no simulated baseline may move less than the sequential bound.
+func TestSimulatorRespectsLowerBounds(t *testing.T) {
+	cfg := config.SmallNPU()
+	model, err := workload.ByAbbr(workload.EdgeSuite(), "mob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []core.Policy{core.PolBaseline, core.PolInterleave, core.PolRearrange} {
+		run := core.RunBackwardOnly(cfg, sim.Options{}, model, pol)
+		layers := model.Layers(cfg.TotalBatch())
+		for i, out := range run.Bwd {
+			if layers[i].SkipDX {
+				continue
+			}
+			l := LayerModel{Dims: out.Dims, ElemBytes: cfg.ElemBytes, XReuse: layers[i].XReuse}
+			min := l.CompulsoryTraffic()
+			if got := float64(out.Traffic.Total()); got < min*0.999 {
+				t.Fatalf("%v layer %d (%v): simulated %g bytes below compulsory bound %g",
+					pol, i, out.Dims, got, min)
+			}
+			if pol == core.PolBaseline {
+				seq := l.SequentialTraffic()
+				if got := float64(out.Traffic.Total()); got < seq*0.999 {
+					t.Fatalf("baseline layer %d moved %g bytes, below sequential bound %g", i, got, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestSimulatorRespectsTimeBound checks the roofline time lower bound.
+func TestSimulatorRespectsTimeBound(t *testing.T) {
+	cfg := config.SmallNPU()
+	model, _ := workload.ByAbbr(workload.EdgeSuite(), "ncf")
+	run := core.RunBackwardOnly(cfg, sim.Options{}, model, core.PolPartition)
+	layers := model.Layers(cfg.TotalBatch())
+	for i, out := range run.Bwd {
+		if layers[i].SkipDX {
+			continue
+		}
+		l := LayerModel{Dims: out.Dims, ElemBytes: cfg.ElemBytes, XReuse: layers[i].XReuse}
+		if got := out.Seconds(cfg); got < l.MinSeconds(cfg)*0.999 {
+			t.Fatalf("layer %d: simulated %gs beats roofline bound %gs", i, got, l.MinSeconds(cfg))
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/sim"
+	"igosim/internal/tensor"
+	"igosim/internal/workload"
+)
+
+// TestFusedMajorsSingleDYPass asserts the paper's central property at the
+// traffic level: under dXmajor and dWmajor every dY tile is fetched from
+// DRAM exactly once, for arbitrary layer shapes and chunk sizes.
+func TestFusedMajorsSingleDYPass(t *testing.T) {
+	cfg := tinyCfg()
+	f := func(m, k, n uint8) bool {
+		d := tensor.Dims{M: int(m%96) + 8, K: int(k%96) + 8, N: int(n%96) + 8}
+		p := LayerParams(d, 1, cfg)
+		dyBytes := d.SizeY() * int64(cfg.ElemBytes)
+		for _, s := range []func() int64{
+			func() int64 {
+				r := sim.RunSchedules(cfg, sim.Options{}, FusedDXMajor(cfg, p))
+				return r.Traffic.Read[dram.ClassDY]
+			},
+			func() int64 {
+				r := sim.RunSchedules(cfg, sim.Options{}, FusedDWMajor(cfg, p))
+				return r.Traffic.Read[dram.ClassDY]
+			},
+		} {
+			if got := s(); got != dyBytes {
+				t.Logf("%v: dY reads %d, want %d", d, got, dyBytes)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaselineReadsDYAtLeastTwice asserts the dual property: the
+// two-kernel sequential baseline always streams dY at least twice.
+func TestBaselineReadsDYAtLeastTwice(t *testing.T) {
+	cfg := tinyCfg()
+	for _, d := range []tensor.Dims{
+		{M: 64, K: 48, N: 32},
+		{M: 16, K: 128, N: 64},
+		{M: 96, K: 16, N: 96},
+	} {
+		p := LayerParams(d, 1, cfg)
+		dxK, dwK := TunedBaselineKernels(cfg, p)
+		r := sim.RunSchedules(cfg, sim.Options{}, dxK, dwK)
+		dyBytes := d.SizeY() * int64(cfg.ElemBytes)
+		if r.Traffic.Read[dram.ClassDY] < 2*dyBytes {
+			t.Errorf("%v: baseline dY reads %d < 2x tensor size %d",
+				d, r.Traffic.Read[dram.ClassDY], 2*dyBytes)
+		}
+	}
+}
+
+// TestPolicyTrafficNeverBelowCompulsory guards against accounting bugs
+// that would under-count traffic: no policy can read less than each
+// operand tensor once.
+func TestPolicyTrafficNeverBelowCompulsory(t *testing.T) {
+	cfg := tinyCfg()
+	d := tensor.Dims{M: 80, K: 64, N: 48}
+	p := LayerParams(d, 1, cfg)
+	e := int64(cfg.ElemBytes)
+	minReads := (d.SizeY() + d.SizeX() + d.SizeW()) * e
+	minWrites := (d.SizeX() + d.SizeW()) * e
+	for _, pol := range Policies() {
+		out := RunBackward(cfg, sim.Options{}, p, pol, false)
+		if out.Traffic.TotalRead() < minReads {
+			t.Errorf("%v: reads %d below compulsory %d", pol, out.Traffic.TotalRead(), minReads)
+		}
+		if out.Traffic.TotalWrite() < minWrites {
+			t.Errorf("%v: writes %d below compulsory %d", pol, out.Traffic.TotalWrite(), minWrites)
+		}
+	}
+}
+
+// TestMultiCoreImprovementPositiveSample checks the Figure 14 direction on
+// the real dual-core server configuration with the smallest zoo model: the
+// full stack must beat the same-core baseline. (Individual toy layers can
+// legitimately regress — the paper's claim is about real workloads.)
+func TestMultiCoreImprovementPositiveSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-core sample is slow")
+	}
+	cfg := config.LargeNPU().WithCores(2)
+	m, err := workloadNCF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RunBackwardOnly(cfg, sim.Options{}, m, PolBaseline)
+	full := RunBackwardOnly(cfg, sim.Options{}, m, PolPartition)
+	if full.BwdCycles >= base.BwdCycles {
+		t.Errorf("dual-core full stack %d cycles not better than baseline %d",
+			full.BwdCycles, base.BwdCycles)
+	}
+}
+
+// TestSchemesCoverAllSplitAxes pins the Figure 11 semantics: each scheme
+// splits exactly its dimension.
+func TestSchemesCoverAllSplitAxes(t *testing.T) {
+	cfg := config.LargeNPU()
+	p := LayerParams(tensor.Dims{M: 1024, K: 1024, N: 1024}, 1, cfg)
+	axes := map[Scheme]func(a, b tensor.Dims) bool{
+		WeightSharing: func(a, b tensor.Dims) bool { return a.M != b.M || a.M < 1024 },
+		DYSharing:     func(a, b tensor.Dims) bool { return a.N != b.N || a.N < 1024 },
+		IfmapSharing:  func(a, b tensor.Dims) bool { return a.K != b.K || a.K < 1024 },
+	}
+	for scheme, split := range axes {
+		plan := PartitionLayer(p, scheme, 2)
+		if len(plan.Parts) != 2 {
+			t.Fatalf("%v: %d parts", scheme, len(plan.Parts))
+		}
+		if !split(plan.Parts[0].Dims, plan.Parts[1].Dims) {
+			t.Errorf("%v did not split its axis: %v / %v", scheme, plan.Parts[0].Dims, plan.Parts[1].Dims)
+		}
+	}
+}
+
+func workloadNCF() (workload.Model, error) {
+	return workload.ByAbbr(workload.ServerSuite(), "ncf")
+}

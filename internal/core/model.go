@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/workload"
+)
+
+// ModelRun is the simulated training step (forward + backward) of one model
+// under one policy.
+type ModelRun struct {
+	Model  string
+	Config string
+	Policy Policy
+	// Fwd and Bwd hold per-layer outcomes in network order.
+	Fwd []LayerOutcome
+	Bwd []LayerOutcome
+	// FwdCycles/BwdCycles are the summed per-pass makespans.
+	FwdCycles int64
+	BwdCycles int64
+	// BwdTraffic aggregates backward-pass DRAM traffic (Figure 5's basis).
+	BwdTraffic dram.Traffic
+}
+
+// TotalCycles returns the training-step makespan (forward + backward).
+func (r ModelRun) TotalCycles() int64 { return r.FwdCycles + r.BwdCycles }
+
+// Seconds converts the training-step makespan to wall-clock time.
+func (r ModelRun) Seconds(cfg config.NPU) float64 {
+	return float64(r.TotalCycles()) / cfg.FrequencyHz
+}
+
+// LayerPlan pairs a workload layer with its tile parameters, fixing ids and
+// tiling once so every policy simulates identical tile grids.
+type LayerPlan struct {
+	Layer  workload.Layer
+	Params schedule.TileParams
+}
+
+// PlanModel lowers a model to per-layer tile parameters under cfg. The
+// batch is the configuration's total batch (scaled per model for
+// recommendation workloads inside the zoo).
+func PlanModel(cfg config.NPU, m workload.Model) []LayerPlan {
+	layers := m.Layers(cfg.TotalBatch())
+	if len(layers) > schedule.MaxLayers {
+		panic(fmt.Sprintf("core: model %s has %d layers, max %d", m.Abbr, len(layers), schedule.MaxLayers))
+	}
+	plans := make([]LayerPlan, len(layers))
+	for i, l := range layers {
+		params := LayerParams(l.Dims, uint16(i), cfg)
+		params.XFactor = l.XReuse
+		plans[i] = LayerPlan{Layer: l, Params: params}
+	}
+	return plans
+}
+
+// RunTraining simulates one training step of the model: the forward pass
+// (always baseline — the techniques only transform the backward pass) and
+// the backward pass under the given policy. Multi-core configurations are
+// handled transparently.
+func RunTraining(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy) ModelRun {
+	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: pol}
+	for _, lp := range PlanModel(cfg, m) {
+		fwd := RunForwardMulti(cfg, lp.Params)
+		fwd.Name = lp.Layer.Name
+		run.Fwd = append(run.Fwd, fwd)
+		run.FwdCycles += fwd.Cycles
+
+		bwd := RunBackwardMulti(cfg, opts, lp.Params, pol, lp.Layer.SkipDX)
+		bwd.Name = lp.Layer.Name
+		run.Bwd = append(run.Bwd, bwd)
+		run.BwdCycles += bwd.Cycles
+		run.BwdTraffic.Merge(bwd.Traffic)
+	}
+	return run
+}
+
+// RunBackwardOnly simulates just the backward pass of the model under the
+// given policy (used by the Figure 17 GPU study, which measures only the
+// backward pass).
+func RunBackwardOnly(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy) ModelRun {
+	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: pol}
+	for _, lp := range PlanModel(cfg, m) {
+		bwd := RunBackwardMulti(cfg, opts, lp.Params, pol, lp.Layer.SkipDX)
+		bwd.Name = lp.Layer.Name
+		run.Bwd = append(run.Bwd, bwd)
+		run.BwdCycles += bwd.Cycles
+		run.BwdTraffic.Merge(bwd.Traffic)
+	}
+	return run
+}
+
+// Improvement returns the fractional execution-time reduction of run
+// against base (paper metric: "reduce the execution time by X%").
+func Improvement(base, run ModelRun) float64 {
+	b := base.TotalCycles()
+	if b == 0 {
+		return 0
+	}
+	return 1 - float64(run.TotalCycles())/float64(b)
+}

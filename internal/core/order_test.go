@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"igosim/internal/config"
+	"igosim/internal/schedule"
+	"igosim/internal/tensor"
+)
+
+func testParams(d tensor.Dims, t schedule.Tiling) schedule.TileParams {
+	return schedule.TileParams{Dims: d, Tiling: t, ElemBytes: 4, Layer: 2}
+}
+
+var orderDims = []struct {
+	d  tensor.Dims
+	tl schedule.Tiling
+}{
+	{tensor.Dims{M: 16, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4}},
+	{tensor.Dims{M: 37, K: 23, N: 19}, schedule.Tiling{Tm: 8, Tk: 6, Tn: 4}},
+	{tensor.Dims{M: 5, K: 40, N: 9}, schedule.Tiling{Tm: 5, Tk: 16, Tn: 3}},
+	{tensor.Dims{M: 48, K: 6, N: 30}, schedule.Tiling{Tm: 16, Tk: 6, Tn: 10}},
+}
+
+// TestTransformedStreamsVerify checks the structural invariants of every
+// transformed schedule: same op multiset as the baseline, exactly one
+// OutFirst/OutLast per output tile.
+func TestTransformedStreamsVerify(t *testing.T) {
+	for _, c := range orderDims {
+		p := testParams(c.d, c.tl)
+		scheds := []schedule.Schedule{
+			InterleaveOnly(p),
+			InterleaveDXMajor(p),
+			InterleaveDWMajor(p),
+			InterleaveDXMajorChunked(p, 2),
+			InterleaveDWMajorChunked(p, 2),
+		}
+		for _, s := range scheds {
+			if err := schedule.VerifyBackward(p, s.Ops, false); err != nil {
+				t.Errorf("%v %s: %v", c.d, s.Name, err)
+			}
+		}
+	}
+}
+
+// TestNumericalEquivalence executes every transformed schedule on real
+// matrices and checks the gradients are identical to the plain matrix
+// products — the paper's "the input and weight gradients in the modified
+// code are identical to those in the previous sequential execution".
+func TestNumericalEquivalence(t *testing.T) {
+	for _, c := range orderDims {
+		p := testParams(c.d, c.tl)
+		scheds := []schedule.Schedule{
+			schedule.BaselineBackward(p),
+			InterleaveOnly(p),
+			InterleaveDXMajor(p),
+			InterleaveDWMajor(p),
+			InterleaveDXMajorChunked(p, 1),
+			InterleaveDWMajorChunked(p, 3),
+		}
+		for _, s := range scheds {
+			if err := CheckEquivalence(c.d, c.tl, s.Ops, 1e-8); err != nil {
+				t.Errorf("%v %s: %v", c.d, s.Name, err)
+			}
+		}
+	}
+}
+
+// TestNumericalEquivalenceRandom fuzzes the equivalence over random dims
+// and tilings.
+func TestNumericalEquivalenceRandom(t *testing.T) {
+	f := func(m, k, n, tm, tk, tn, chunk uint8) bool {
+		d := tensor.Dims{M: int(m%24) + 1, K: int(k%24) + 1, N: int(n%24) + 1}
+		tl := schedule.Tiling{
+			Tm: min(int(tm%6)+1, d.M),
+			Tk: min(int(tk%6)+1, d.K),
+			Tn: min(int(tn%6)+1, d.N),
+		}
+		p := testParams(d, tl)
+		for _, s := range []schedule.Schedule{
+			InterleaveDXMajorChunked(p, int(chunk%4)+1),
+			InterleaveDWMajorChunked(p, int(chunk%4)+1),
+			InterleaveOnly(p),
+		} {
+			if err := CheckEquivalence(d, tl, s.Ops, 1e-8); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpMultisetPreserved compares the sorted op signatures of baseline and
+// dXmajor streams: interleaving is a pure reordering.
+func TestOpMultisetPreserved(t *testing.T) {
+	p := testParams(tensor.Dims{M: 16, K: 12, N: 8}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	sig := func(ops []schedule.Op) []schedule.Op {
+		out := append([]schedule.Op{}, ops...)
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			if a.Out.Key != b.Out.Key {
+				return lessKey(a.Out.Key, b.Out.Key)
+			}
+			return lessKey(a.A.Key, b.A.Key)
+		})
+		// Endpoint flags depend on position, not identity.
+		for i := range out {
+			out[i].OutFirst, out[i].OutLast = false, false
+		}
+		return out
+	}
+	base := sig(schedule.BaselineBackward(p).Ops)
+	for _, s := range []schedule.Schedule{InterleaveOnly(p), InterleaveDXMajor(p), InterleaveDWMajor(p)} {
+		got := sig(s.Ops)
+		if len(got) != len(base) {
+			t.Fatalf("%s: %d ops vs %d", s.Name, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("%s: op %d differs: %+v vs %+v", s.Name, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func lessKey(a, b schedule.TileKey) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.Tensor != b.Tensor {
+		return a.Tensor < b.Tensor
+	}
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+func TestSelectOrderAlgorithm1Structure(t *testing.T) {
+	// Nearly-square -> plain interleaving.
+	if got := SelectOrder(tensor.Dims{M: 100, K: 120, N: 90}); got != OnlyInterleave {
+		t.Fatalf("square case: %v", got)
+	}
+	// Skewed with dX larger than dW (M > N) -> dXmajor (prose rule).
+	if got := SelectOrder(tensor.Dims{M: 4096, K: 64, N: 64}); got != DXMajor {
+		t.Fatalf("M-heavy case: %v", got)
+	}
+	// Skewed with dW larger (N > M) -> dWmajor.
+	if got := SelectOrder(tensor.Dims{M: 64, K: 64, N: 4096}); got != DWMajor {
+		t.Fatalf("N-heavy case: %v", got)
+	}
+}
+
+func TestSelectOrderLiteral(t *testing.T) {
+	// K dominates both -> dWmajor per the listing.
+	if got := SelectOrderLiteral(tensor.Dims{M: 64, K: 4096, N: 64}); got != DWMajor {
+		t.Fatalf("K-heavy literal: %v", got)
+	}
+	if got := SelectOrderLiteral(tensor.Dims{M: 4096, K: 64, N: 64}); got != DXMajor {
+		t.Fatalf("M-heavy literal: %v", got)
+	}
+	if got := SelectOrderLiteral(tensor.Dims{M: 100, K: 120, N: 90}); got != OnlyInterleave {
+		t.Fatalf("square literal: %v", got)
+	}
+}
+
+func TestPartialFootprint(t *testing.T) {
+	d := tensor.Dims{M: 10, K: 20, N: 30}
+	if got := PartialFootprint(d, DXMajor, 4); got != 20*30*4 {
+		t.Fatalf("dXmajor footprint = %d", got)
+	}
+	if got := PartialFootprint(d, DWMajor, 4); got != 10*20*4 {
+		t.Fatalf("dWmajor footprint = %d", got)
+	}
+	if got := PartialFootprint(d, OnlyInterleave, 4); got != 0 {
+		t.Fatalf("interleave footprint = %d", got)
+	}
+}
+
+func TestSelectOrderForRespectsCapacity(t *testing.T) {
+	cfg := config.LargeNPU()
+	// Huge carried partials on both sides: fall back to interleaving.
+	p := LayerParams(tensor.Dims{M: 4096, K: 4096, N: 16384}, 1, cfg)
+	if got := SelectOrderFor(p, cfg.SPMBytes); got != OnlyInterleave {
+		t.Fatalf("oversized partials: %v", got)
+	}
+	// Tiny dW: dXmajor is free.
+	p2 := LayerParams(tensor.Dims{M: 25088, K: 64, N: 64}, 1, cfg)
+	if got := SelectOrderFor(p2, cfg.SPMBytes); got != DXMajor {
+		t.Fatalf("tiny dW: %v", got)
+	}
+}
+
+func TestEstimateOrderCosts(t *testing.T) {
+	cfg := config.LargeNPU()
+	// dY far larger than SPM: interleave-only pays a second pass.
+	p := LayerParams(tensor.Dims{M: 8192, K: 256, N: 8192}, 1, cfg)
+	c := EstimateOrderCosts(p, cfg.SPMBytes)
+	if c.Interleave == 0 {
+		t.Fatal("interleave cost should be positive for huge dY")
+	}
+	// Small everything: all costs zero.
+	p2 := LayerParams(tensor.Dims{M: 64, K: 64, N: 64}, 1, cfg)
+	c2 := EstimateOrderCosts(p2, cfg.SPMBytes)
+	if c2.Interleave != 0 || c2.DXMajor != 0 || c2.DWMajor != 0 {
+		t.Fatalf("small layer costs %+v", c2)
+	}
+}
+
+func TestOrdersString(t *testing.T) {
+	if OnlyInterleave.String() != "interleave" ||
+		DXMajor.String() != "interleave+dXmajor" ||
+		DWMajor.String() != "interleave+dWmajor" {
+		t.Fatal("order names wrong")
+	}
+	if len(Orders()) != 3 {
+		t.Fatal("Orders() incomplete")
+	}
+}

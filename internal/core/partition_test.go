@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/tensor"
+)
+
+func TestPartitionLayerWeightSharing(t *testing.T) {
+	p := testParams(tensor.Dims{M: 40, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	plan := PartitionLayer(p, WeightSharing, 4)
+	if len(plan.Parts) != 4 {
+		t.Fatalf("parts = %d", len(plan.Parts))
+	}
+	var mSum int
+	for i, sub := range plan.Parts {
+		mSum += sub.Dims.M
+		if sub.Dims.K != 16 || sub.Dims.N != 16 {
+			t.Fatalf("part %d changed K/N: %v", i, sub.Dims)
+		}
+		if !sub.DWPartial {
+			t.Fatalf("part %d missing DWPartial", i)
+		}
+		if sub.DXPartial {
+			t.Fatalf("part %d must not mark dX partial", i)
+		}
+	}
+	if mSum != 40 {
+		t.Fatalf("M coverage %d, want 40", mSum)
+	}
+	if len(plan.Reductions) != 1 || plan.Reductions[0].FinalClass != dram.ClassDW {
+		t.Fatalf("reductions = %+v", plan.Reductions)
+	}
+	if plan.Reductions[0].Bytes != 16*16*4 {
+		t.Fatalf("reduction bytes = %d", plan.Reductions[0].Bytes)
+	}
+}
+
+func TestPartitionLayerDYSharing(t *testing.T) {
+	p := testParams(tensor.Dims{M: 16, K: 16, N: 40}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	plan := PartitionLayer(p, DYSharing, 2)
+	if len(plan.Parts) != 2 {
+		t.Fatalf("parts = %d", len(plan.Parts))
+	}
+	var nSum int
+	for _, sub := range plan.Parts {
+		nSum += sub.Dims.N
+		if !sub.DXPartial || sub.DWPartial {
+			t.Fatalf("partial flags wrong: %+v", sub)
+		}
+	}
+	if nSum != 40 {
+		t.Fatalf("N coverage %d", nSum)
+	}
+	if len(plan.Reductions) != 1 || plan.Reductions[0].FinalClass != dram.ClassDX {
+		t.Fatalf("reductions = %+v", plan.Reductions)
+	}
+}
+
+func TestPartitionLayerIfmapSharingNoReduction(t *testing.T) {
+	p := testParams(tensor.Dims{M: 16, K: 40, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	plan := PartitionLayer(p, IfmapSharing, 2)
+	if len(plan.Reductions) != 0 {
+		t.Fatal("ifmap-sharing must not need accumulation (Section 5)")
+	}
+	for _, sub := range plan.Parts {
+		if sub.DXPartial || sub.DWPartial {
+			t.Fatalf("ifmap-sharing marked partials: %+v", sub)
+		}
+	}
+	// dY tiles must alias across partitions (the shared tensor).
+	a := plan.Parts[0].DYTile(0, 0)
+	b := plan.Parts[1].DYTile(0, 0)
+	if a.Key != b.Key {
+		t.Fatalf("shared dY tiles differ: %v vs %v", a.Key, b.Key)
+	}
+	// X tiles must NOT alias (split along K).
+	xa := plan.Parts[0].XTile(0, 0)
+	xb := plan.Parts[1].XTile(0, 0)
+	if xa.Key == xb.Key {
+		t.Fatal("split X tiles alias across partitions")
+	}
+}
+
+func TestPartitionDegeneratesGracefully(t *testing.T) {
+	// M has only 2 tiles: asking for 8 partitions yields 2.
+	p := testParams(tensor.Dims{M: 8, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	plan := PartitionLayer(p, WeightSharing, 8)
+	if len(plan.Parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(plan.Parts))
+	}
+	// A single-tile dimension cannot be split at all.
+	p2 := testParams(tensor.Dims{M: 4, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	plan2 := PartitionLayer(p2, WeightSharing, 4)
+	if len(plan2.Parts) != 1 {
+		t.Fatalf("parts = %d, want 1", len(plan2.Parts))
+	}
+	if len(plan2.Reductions) != 0 {
+		t.Fatal("degenerate plan must not reduce")
+	}
+	for _, sub := range plan2.Parts {
+		if sub.DWPartial {
+			t.Fatal("degenerate plan must not mark partials")
+		}
+	}
+}
+
+func TestPartitionedStreamsEquivalence(t *testing.T) {
+	// All three schemes, executed partition after partition, must produce
+	// gradients identical to the unpartitioned reference (the implicit
+	// cross-partition reduction happens in the executor's accumulation).
+	d := tensor.Dims{M: 24, K: 20, N: 28}
+	tl := schedule.Tiling{Tm: 4, Tk: 4, Tn: 4}
+	p := testParams(d, tl)
+	for _, scheme := range Schemes() {
+		for _, parts := range []int{2, 3} {
+			plan := PartitionLayer(p, scheme, parts)
+			var ops []schedule.Op
+			for _, sub := range plan.Parts {
+				ops = append(ops, InterleaveDXMajor(sub).Ops...)
+			}
+			if err := CheckEquivalence(d, tl, ops, 1e-8); err != nil {
+				t.Errorf("%v x%d: %v", scheme, parts, err)
+			}
+		}
+	}
+}
+
+func TestPartitionedStreamsEquivalenceRandom(t *testing.T) {
+	f := func(m, k, n, sc, parts uint8) bool {
+		d := tensor.Dims{M: int(m%20) + 4, K: int(k%20) + 4, N: int(n%20) + 4}
+		tl := schedule.Tiling{Tm: 3, Tk: 3, Tn: 3}
+		p := testParams(d, tl)
+		scheme := Schemes()[int(sc)%3]
+		plan := PartitionLayer(p, scheme, int(parts%3)+2)
+		var ops []schedule.Op
+		for _, sub := range plan.Parts {
+			sched, _ := RearrangedWithOrderUntuned(sub)
+			ops = append(ops, sched.Ops...)
+		}
+		return CheckEquivalence(d, tl, ops, 1e-8) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanDims(t *testing.T) {
+	p := testParams(tensor.Dims{M: 40, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	for _, scheme := range Schemes() {
+		plan := PartitionLayer(p, scheme, 3)
+		if got := plan.Dims(); got != p.Dims {
+			t.Errorf("%v: plan dims %v, want %v", scheme, got, p.Dims)
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{
+		NoPartition:   "none",
+		WeightSharing: "weight-sharing",
+		DYSharing:     "dY-sharing",
+		IfmapSharing:  "ifmap-sharing",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if len(Schemes()) != 3 {
+		t.Fatal("Schemes() must list the three real schemes")
+	}
+}
+
+func TestInvalidPartitionCountPanics(t *testing.T) {
+	p := testParams(tensor.Dims{M: 8, K: 8, N: 8}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero partitions")
+		}
+	}()
+	PartitionLayer(p, WeightSharing, 0)
+}
+
+// RearrangedWithOrderUntuned picks an order without engine simulation (for
+// fuzz tests that only need schedule structure).
+func RearrangedWithOrderUntuned(p schedule.TileParams) (schedule.Schedule, Order) {
+	o := SelectOrder(p.Dims)
+	return Interleaved(p, o), o
+}

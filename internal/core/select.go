@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+
+	"igosim/internal/config"
+	"igosim/internal/knn"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/tensor"
+)
+
+// SchemeSample is one labelled layer for the partition-scheme selector.
+type SchemeSample struct {
+	Dims tensor.Dims
+	Best Scheme
+}
+
+// SchemeFeatures maps a layer's GEMM dimensions to the KNN feature vector.
+// The paper uses "the dimensions of dX, dW, and dY as features"; those six
+// numbers are (M,K), (K,N) and (M,N), which the log-scaled triple (M,K,N)
+// plus their pairwise products' logs span. Log scaling keeps the classifier
+// sensitive to shape ratios rather than raw magnitudes.
+func SchemeFeatures(d tensor.Dims) []float64 {
+	lm, lk, ln := math.Log2(float64(d.M)), math.Log2(float64(d.K)), math.Log2(float64(d.N))
+	return []float64{
+		lm, lk, ln, // tensor extents
+		lm + lk, // size of dX
+		lk + ln, // size of dW
+		lm + ln, // size of dY
+	}
+}
+
+// DefaultSchemeK is the KNN neighbourhood size used by the selector.
+const DefaultSchemeK = 3
+
+// BestSchemeEmpirical simulates the three partitioning schemes of Figure 11
+// (each with `parts` partitions, rearranged per partition) and returns the
+// fastest, mirroring how the paper labels its KNN training set
+// ("we empirically determine the most efficient data partitioning scheme
+// ... for each layer in the training set").
+func BestSchemeEmpirical(cfg config.NPU, opts sim.Options, p schedule.TileParams, parts int) (Scheme, LayerOutcome) {
+	var bestScheme Scheme
+	var best LayerOutcome
+	first := true
+	for _, scheme := range Schemes() {
+		cand := RunPartitionedScheme(cfg, opts, p, scheme, parts)
+		if first || cand.Cycles < best.Cycles {
+			best = cand
+			bestScheme = scheme
+			first = false
+		}
+	}
+	return bestScheme, best
+}
+
+// RunPartitionedScheme simulates one specific scheme with `parts`
+// partitions: concurrently across cores on a multi-core configuration,
+// sequentially on a single core. Plans that degenerate to one partition
+// are simulated whole.
+func RunPartitionedScheme(cfg config.NPU, opts sim.Options, p schedule.TileParams, scheme Scheme, parts int) LayerOutcome {
+	plan := PartitionLayer(p, scheme, parts)
+	var out LayerOutcome
+	if cfg.Cores > 1 {
+		out = runMultiPlanPolicy(cfg, opts, plan, PolRearrange, true)
+	} else if len(plan.Parts) < 2 {
+		out = RunBackward(cfg, opts, p, PolRearrange, false)
+	} else {
+		var ok bool
+		out, ok = runPartitionedSingle(cfg, opts, p, scheme, parts)
+		if !ok {
+			out = RunBackward(cfg, opts, p, PolRearrange, false)
+		}
+	}
+	out.Scheme = scheme
+	out.Dims = p.Dims
+	out.Policy = PolPartition
+	return out
+}
+
+// TrainSchemeSelector fits the KNN partition-scheme selector on labelled
+// layers.
+func TrainSchemeSelector(samples []SchemeSample, k int) (*SchemeSelector, error) {
+	train := make([]knn.Sample, len(samples))
+	for i, s := range samples {
+		train[i] = knn.Sample{Features: SchemeFeatures(s.Dims), Label: int(s.Best)}
+	}
+	cls, err := knn.Train(train, k)
+	if err != nil {
+		return nil, err
+	}
+	return &SchemeSelector{cls: cls}, nil
+}
+
+// SchemeSelector predicts a partitioning scheme from layer dimensions.
+type SchemeSelector struct {
+	cls *knn.Classifier
+}
+
+// Predict returns the scheme the selector picks for the given layer.
+func (s *SchemeSelector) Predict(d tensor.Dims) Scheme {
+	return Scheme(s.cls.Predict(SchemeFeatures(d)))
+}

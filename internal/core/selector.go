@@ -1,0 +1,54 @@
+package core
+
+import (
+	"igosim/internal/config"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/workload"
+)
+
+// OrderSelector chooses the interleaved access order for one layer. It
+// abstracts the Section 4.3 selection policies: the Algorithm 1 listing,
+// the prose rule, the static cost model, or the ideal (simulated) choice.
+type OrderSelector func(cfg config.NPU, p schedule.TileParams) Order
+
+// RunTrainingSelector simulates one single-core training step with the
+// backward pass rearranged per the given order selector (used by the
+// Section 4.3 Algorithm-1-vs-ideal study).
+func RunTrainingSelector(cfg config.NPU, opts sim.Options, m workload.Model, sel OrderSelector) ModelRun {
+	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: PolRearrange}
+	for _, lp := range PlanModel(cfg, m) {
+		fwd := RunForward(cfg, lp.Params)
+		fwd.Name = lp.Layer.Name
+		run.Fwd = append(run.Fwd, fwd)
+		run.FwdCycles += fwd.Cycles
+
+		var bwd LayerOutcome
+		if lp.Layer.SkipDX {
+			bwd = outcomeFromResult(sim.RunSchedules(cfg, opts, TunedDWOnly(cfg, lp.Params)))
+		} else {
+			sched, o := RearrangedWithOrder(cfg, lp.Params, sel(cfg, lp.Params))
+			bwd = outcomeFromResult(sim.RunSchedules(cfg, opts, sched))
+			bwd.Order = o
+		}
+		bwd.Name = lp.Layer.Name
+		bwd.Dims = lp.Params.Dims
+		bwd.Policy = PolRearrange
+		bwd.Parts = 1
+		run.Bwd = append(run.Bwd, bwd)
+		run.BwdCycles += bwd.Cycles
+		run.BwdTraffic.Merge(bwd.Traffic)
+	}
+	return run
+}
+
+// ConcatKernels joins kernels into one schedule (no flush between them) —
+// the "single kernel that sequentially calculates dX and dW without
+// interleaving" baseline variant of the Figure 17 GPU study.
+func ConcatKernels(kernels ...schedule.Schedule) schedule.Schedule {
+	var ops []schedule.Op
+	for _, k := range kernels {
+		ops = append(ops, k.Ops...)
+	}
+	return schedule.Schedule{Name: "fused-sequential", Ops: ops}
+}

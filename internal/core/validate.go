@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"igosim/internal/schedule"
+	"igosim/internal/tensor"
+)
+
+// Executor numerically executes tile-op streams against real matrices.
+// It backs the correctness claim of Section 4.2: every transformation in
+// this package is a pure reordering of the baseline's tile operations, so
+// the computed gradients are identical. Tile coordinates in op keys are
+// parent-grid coordinates (partitions included), so the executor needs no
+// knowledge of partitioning: partial sums land in the same output matrices
+// and the cross-partition reduction happens implicitly.
+type Executor struct {
+	Tiling schedule.Tiling
+	X, W   *tensor.Matrix
+	DY     *tensor.Matrix
+	Y      *tensor.Matrix
+	DX, DW *tensor.Matrix
+}
+
+// NewExecutor prepares an executor for one layer. X, W and dY are filled
+// with a deterministic position-dependent pattern so any mis-indexed tile
+// in a schedule changes the results.
+func NewExecutor(d tensor.Dims, t schedule.Tiling) *Executor {
+	e := &Executor{
+		Tiling: t,
+		X:      tensor.NewMatrix(d.M, d.K),
+		W:      tensor.NewMatrix(d.K, d.N),
+		DY:     tensor.NewMatrix(d.M, d.N),
+		Y:      tensor.NewMatrix(d.M, d.N),
+		DX:     tensor.NewMatrix(d.M, d.K),
+		DW:     tensor.NewMatrix(d.K, d.N),
+	}
+	e.X.FillPattern(1.25)
+	e.W.FillPattern(-0.75)
+	e.DY.FillPattern(0.5)
+	return e
+}
+
+// Run executes the op stream, accumulating into Y, DX and DW.
+func (e *Executor) Run(ops []schedule.Op) {
+	for i := range ops {
+		e.step(&ops[i])
+	}
+}
+
+func (e *Executor) step(op *schedule.Op) {
+	t := e.Tiling
+	switch op.Kind {
+	case schedule.KindDX:
+		// dX[m-block, k-block] += dY[m-block, n-block] x W[k-block, n-block]^T
+		mBase := int(op.Out.Key.Row) * t.Tm
+		kBase := int(op.Out.Key.Col) * t.Tk
+		nBase := int(op.A.Key.Col) * t.Tn
+		for i := 0; i < op.Tm; i++ { // rows of dX (M)
+			for j := 0; j < op.Tn; j++ { // cols of dX (K)
+				var sum float64
+				for r := 0; r < op.Tk; r++ { // reduction (N)
+					sum += e.DY.At(mBase+i, nBase+r) * e.W.At(kBase+j, nBase+r)
+				}
+				e.DX.Add(mBase+i, kBase+j, sum)
+			}
+		}
+	case schedule.KindDW:
+		// dW[k-block, n-block] += X[m-block, k-block]^T x dY[m-block, n-block]
+		kBase := int(op.Out.Key.Row) * t.Tk
+		nBase := int(op.Out.Key.Col) * t.Tn
+		mBase := int(op.A.Key.Row) * t.Tm
+		for i := 0; i < op.Tm; i++ { // rows of dW (K)
+			for j := 0; j < op.Tn; j++ { // cols of dW (N)
+				var sum float64
+				for r := 0; r < op.Tk; r++ { // reduction (M)
+					sum += e.X.At(mBase+r, kBase+i) * e.DY.At(mBase+r, nBase+j)
+				}
+				e.DW.Add(kBase+i, nBase+j, sum)
+			}
+		}
+	case schedule.KindFwd:
+		// Y[m-block, n-block] += X[m-block, k-block] x W[k-block, n-block]
+		mBase := int(op.Out.Key.Row) * t.Tm
+		nBase := int(op.Out.Key.Col) * t.Tn
+		kBase := int(op.A.Key.Col) * t.Tk
+		for i := 0; i < op.Tm; i++ {
+			for j := 0; j < op.Tn; j++ {
+				var sum float64
+				for r := 0; r < op.Tk; r++ {
+					sum += e.X.At(mBase+i, kBase+r) * e.W.At(kBase+r, nBase+j)
+				}
+				e.Y.Add(mBase+i, nBase+j, sum)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: executor cannot run op kind %v", op.Kind))
+	}
+}
+
+// ReferenceGradients computes dX and dW with plain matrix products.
+func (e *Executor) ReferenceGradients() (dx, dw *tensor.Matrix) {
+	dx = tensor.MatMul(e.DY, e.W.Transpose())
+	dw = tensor.MatMul(e.X.Transpose(), e.DY)
+	return dx, dw
+}
+
+// CheckEquivalence executes the op stream and verifies the accumulated
+// gradients match the reference matrix products within tol. It returns a
+// descriptive error on mismatch.
+func CheckEquivalence(d tensor.Dims, t schedule.Tiling, ops []schedule.Op, tol float64) error {
+	e := NewExecutor(d, t)
+	e.Run(ops)
+	refDX, refDW := e.ReferenceGradients()
+	if diff := tensor.MaxAbsDiff(e.DX, refDX); diff > tol {
+		return fmt.Errorf("core: dX deviates from reference by %g (tol %g) for %v", diff, tol, d)
+	}
+	if diff := tensor.MaxAbsDiff(e.DW, refDW); diff > tol {
+		return fmt.Errorf("core: dW deviates from reference by %g (tol %g) for %v", diff, tol, d)
+	}
+	return nil
+}

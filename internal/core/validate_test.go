@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"igosim/internal/schedule"
+	"igosim/internal/tensor"
+)
+
+func TestExecutorMatchesReference(t *testing.T) {
+	d := tensor.Dims{M: 13, K: 9, N: 11}
+	tl := schedule.Tiling{Tm: 4, Tk: 3, Tn: 5}
+	e := NewExecutor(d, tl)
+	p := testParams(d, tl)
+	e.Run(schedule.BaselineBackward(p).Ops)
+	refDX, refDW := e.ReferenceGradients()
+	if diff := tensor.MaxAbsDiff(e.DX, refDX); diff > 1e-9 {
+		t.Fatalf("dX off by %g", diff)
+	}
+	if diff := tensor.MaxAbsDiff(e.DW, refDW); diff > 1e-9 {
+		t.Fatalf("dW off by %g", diff)
+	}
+}
+
+func TestExecutorForward(t *testing.T) {
+	d := tensor.Dims{M: 10, K: 8, N: 6}
+	tl := schedule.Tiling{Tm: 3, Tk: 3, Tn: 3}
+	e := NewExecutor(d, tl)
+	p := testParams(d, tl)
+	e.Run(schedule.Forward(p).Ops)
+	want := tensor.MatMul(e.X, e.W)
+	if diff := tensor.MaxAbsDiff(e.Y, want); diff > 1e-9 {
+		t.Fatalf("forward off by %g", diff)
+	}
+}
+
+func TestCheckEquivalenceDetectsCorruption(t *testing.T) {
+	d := tensor.Dims{M: 8, K: 8, N: 8}
+	tl := schedule.Tiling{Tm: 4, Tk: 4, Tn: 4}
+	p := testParams(d, tl)
+	ops := schedule.BaselineBackward(p).Ops
+
+	// Drop one accumulation op: the gradients must deviate.
+	if err := CheckEquivalence(d, tl, ops[1:], 1e-8); err == nil {
+		t.Fatal("missing op not detected numerically")
+	}
+	// Swap a tile coordinate: mis-indexed reads must deviate.
+	bad := append([]schedule.Op{}, ops...)
+	bad[0].A.Key.Col ^= 1
+	if err := CheckEquivalence(d, tl, bad, 1e-8); err == nil {
+		t.Fatal("mis-indexed operand not detected")
+	}
+}
+
+func TestCheckEquivalenceErrorMessage(t *testing.T) {
+	d := tensor.Dims{M: 4, K: 4, N: 4}
+	tl := schedule.Tiling{Tm: 2, Tk: 2, Tn: 2}
+	p := testParams(d, tl)
+	ops := schedule.BaselineBackward(p).Ops
+	err := CheckEquivalence(d, tl, ops[2:], 1e-8)
+	if err == nil || !strings.Contains(err.Error(), "deviates") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestExecutorRejectsUnknownKind(t *testing.T) {
+	d := tensor.Dims{M: 4, K: 4, N: 4}
+	tl := schedule.Tiling{Tm: 2, Tk: 2, Tn: 2}
+	e := NewExecutor(d, tl)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown op kind")
+		}
+	}()
+	e.Run([]schedule.Op{{Kind: schedule.Kind(7)}})
+}

@@ -1,0 +1,125 @@
+// Package dram models the off-chip memory of the NPU: a bandwidth-limited
+// channel with a fixed per-burst latency, plus traffic accounting broken
+// down by tensor class and direction. The traffic counters feed the
+// Figure 5 and Figure 13 reproductions directly.
+package dram
+
+import "fmt"
+
+// Class identifies which logical tensor a transfer belongs to.
+type Class uint8
+
+const (
+	ClassX   Class = iota // input feature map
+	ClassW                // weights
+	ClassY                // output feature map (forward)
+	ClassDY               // output gradient
+	ClassDX               // input gradient
+	ClassDW               // weight gradient
+	ClassAcc              // spilled partial sums (intermediate results)
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassX:
+		return "X"
+	case ClassW:
+		return "W"
+	case ClassY:
+		return "Y"
+	case ClassDY:
+		return "dY"
+	case ClassDX:
+		return "dX"
+	case ClassDW:
+		return "dW"
+	case ClassAcc:
+		return "acc"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Classes lists all tensor classes in a stable order.
+func Classes() []Class {
+	return []Class{ClassX, ClassW, ClassY, ClassDY, ClassDX, ClassDW, ClassAcc}
+}
+
+// Traffic accumulates DRAM bytes moved, by class and direction.
+type Traffic struct {
+	Read  [numClasses]int64
+	Write [numClasses]int64
+}
+
+// AddRead records bytes read from DRAM for the given class.
+func (t *Traffic) AddRead(c Class, bytes int64) { t.Read[c] += bytes }
+
+// AddWrite records bytes written to DRAM for the given class.
+func (t *Traffic) AddWrite(c Class, bytes int64) { t.Write[c] += bytes }
+
+// TotalRead returns all bytes read.
+func (t Traffic) TotalRead() int64 {
+	var s int64
+	for _, v := range t.Read {
+		s += v
+	}
+	return s
+}
+
+// TotalWrite returns all bytes written.
+func (t Traffic) TotalWrite() int64 {
+	var s int64
+	for _, v := range t.Write {
+		s += v
+	}
+	return s
+}
+
+// Total returns all bytes moved in either direction.
+func (t Traffic) Total() int64 { return t.TotalRead() + t.TotalWrite() }
+
+// Merge adds other's counters into t.
+func (t *Traffic) Merge(other Traffic) {
+	for i := range t.Read {
+		t.Read[i] += other.Read[i]
+		t.Write[i] += other.Write[i]
+	}
+}
+
+// ReadShare returns class c's fraction of total read traffic.
+func (t Traffic) ReadShare(c Class) float64 {
+	tot := t.TotalRead()
+	if tot == 0 {
+		return 0
+	}
+	return float64(t.Read[c]) / float64(tot)
+}
+
+// Share returns class c's fraction of total read+write traffic.
+func (t Traffic) Share(c Class) float64 {
+	tot := t.Total()
+	if tot == 0 {
+		return 0
+	}
+	return float64(t.Read[c]+t.Write[c]) / float64(tot)
+}
+
+// Channel converts transfer sizes into cycles given bandwidth and latency.
+type Channel struct {
+	BytesPerCycle float64 // sustained bandwidth in bytes per core cycle
+	BurstLatency  int64   // fixed cycles charged once per tile transfer
+}
+
+// TransferCycles returns the cycles to move `bytes` in `bursts` contiguous
+// tile transfers.
+func (ch Channel) TransferCycles(bytes int64, bursts int) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if ch.BytesPerCycle <= 0 {
+		panic("dram: channel has no bandwidth")
+	}
+	stream := int64(float64(bytes)/ch.BytesPerCycle + 0.5)
+	return stream + ch.BurstLatency*int64(bursts)
+}

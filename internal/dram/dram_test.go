@@ -1,0 +1,96 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrafficAccounting(t *testing.T) {
+	var tr Traffic
+	tr.AddRead(ClassDY, 100)
+	tr.AddRead(ClassX, 50)
+	tr.AddWrite(ClassDW, 30)
+	if tr.TotalRead() != 150 || tr.TotalWrite() != 30 || tr.Total() != 180 {
+		t.Fatalf("totals = %d/%d/%d", tr.TotalRead(), tr.TotalWrite(), tr.Total())
+	}
+	if got := tr.ReadShare(ClassDY); math.Abs(got-100.0/150) > 1e-12 {
+		t.Fatalf("read share = %g", got)
+	}
+	if got := tr.Share(ClassDY); math.Abs(got-100.0/180) > 1e-12 {
+		t.Fatalf("rw share = %g", got)
+	}
+}
+
+func TestTrafficMerge(t *testing.T) {
+	var a, b Traffic
+	a.AddRead(ClassW, 10)
+	b.AddRead(ClassW, 5)
+	b.AddWrite(ClassAcc, 7)
+	a.Merge(b)
+	if a.Read[ClassW] != 15 || a.Write[ClassAcc] != 7 {
+		t.Fatalf("merge result %+v", a)
+	}
+}
+
+func TestSharesOnEmptyTraffic(t *testing.T) {
+	var tr Traffic
+	if tr.ReadShare(ClassDY) != 0 || tr.Share(ClassDY) != 0 {
+		t.Fatal("empty traffic should have zero shares")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassX: "X", ClassW: "W", ClassY: "Y",
+		ClassDY: "dY", ClassDX: "dX", ClassDW: "dW", ClassAcc: "acc",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(c), c.String(), s)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class should still format")
+	}
+}
+
+func TestClassesCoverAll(t *testing.T) {
+	if len(Classes()) != int(numClasses) {
+		t.Fatalf("Classes() lists %d of %d", len(Classes()), numClasses)
+	}
+	seen := make(map[Class]bool)
+	for _, c := range Classes() {
+		if seen[c] {
+			t.Fatalf("duplicate class %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestChannelTransferCycles(t *testing.T) {
+	ch := Channel{BytesPerCycle: 100, BurstLatency: 10}
+	// 1000 bytes in 2 bursts: 10 stream cycles + 20 latency.
+	if got := ch.TransferCycles(1000, 2); got != 30 {
+		t.Fatalf("cycles = %d, want 30", got)
+	}
+	if got := ch.TransferCycles(0, 5); got != 0 {
+		t.Fatalf("zero bytes should cost nothing, got %d", got)
+	}
+}
+
+func TestChannelRounding(t *testing.T) {
+	ch := Channel{BytesPerCycle: 3}
+	// 10 bytes / 3 Bpc = 3.33 -> rounds to 3.
+	if got := ch.TransferCycles(10, 0); got != 3 {
+		t.Fatalf("cycles = %d, want 3", got)
+	}
+}
+
+func TestChannelNoBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-bandwidth channel")
+		}
+	}()
+	Channel{}.TransferCycles(1, 1)
+}

@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"testing"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/workload"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := Default45nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadCoefficients(t *testing.T) {
+	m := Default45nm()
+	m.DRAMPerByte = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero DRAM energy accepted")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{DRAM: 1, SPM: 2, Compute: 3, Static: 4}
+	if b.Total() != 10 {
+		t.Fatalf("total = %g", b.Total())
+	}
+}
+
+func TestDRAMIsDominantComponent(t *testing.T) {
+	// The architectural premise: for a memory-bound training step, DRAM
+	// energy dominates compute energy.
+	cfg := config.SmallNPU()
+	model, _ := workload.ByAbbr(workload.EdgeSuite(), "mob")
+	run := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
+	b := Default45nm().TrainingStep(run)
+	if b.DRAM <= b.Compute {
+		t.Fatalf("DRAM %g J should dominate compute %g J on the edge NPU", b.DRAM, b.Compute)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+}
+
+func TestIGOSavesEnergy(t *testing.T) {
+	// The full technique stack reduces traffic, so it must reduce energy.
+	cfg := config.SmallNPU()
+	model, _ := workload.ByAbbr(workload.EdgeSuite(), "mob")
+	base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
+	igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
+	m := Default45nm()
+	if sav := m.Savings(base, igo); sav <= 0 || sav >= 1 {
+		t.Fatalf("implausible energy savings %g", sav)
+	}
+}
+
+func TestSavingsZeroBaseline(t *testing.T) {
+	if Default45nm().Savings(core.ModelRun{}, core.ModelRun{}) != 0 {
+		t.Fatal("empty baseline must yield zero savings")
+	}
+}
+
+func TestLayerScalesWithGEMMCount(t *testing.T) {
+	out := core.LayerOutcome{Dims: struct{ M, K, N int }{64, 64, 64}}
+	m := Default45nm()
+	one := m.Layer(out, 1)
+	two := m.Layer(out, 2)
+	if two.Compute != 2*one.Compute {
+		t.Fatalf("compute energy not linear in GEMM count: %g vs %g", one.Compute, two.Compute)
+	}
+	if two.DRAM != one.DRAM {
+		t.Fatal("traffic energy must not depend on GEMM count")
+	}
+}

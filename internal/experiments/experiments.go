@@ -1,0 +1,124 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 3 motivation data and Section 6). Each harness
+// returns a Report whose table holds the same rows/series the paper plots;
+// EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+	"igosim/internal/workload"
+)
+
+// Report is the outcome of one experiment harness.
+type Report struct {
+	// ID matches the paper artifact ("fig12", "alg1", ...).
+	ID    string
+	Title string
+	// Table holds the figure's data series.
+	Table *stats.Table
+	// Summary lines state the headline numbers the paper quotes.
+	Summary []string
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	if len(r.Summary) > 0 {
+		b.WriteByte('\n')
+		for _, s := range r.Summary {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// suiteFor returns the workload suite matching a configuration.
+func suiteFor(cfg config.NPU) []workload.Model {
+	if strings.HasPrefix(cfg.Name, "small") {
+		return workload.EdgeSuite()
+	}
+	return workload.ServerSuite()
+}
+
+// trainingCycles runs one training step per model under pol and returns
+// total (fwd+bwd) cycles keyed by model abbreviation, in suite order.
+func trainingCycles(cfg config.NPU, models []workload.Model, pol core.Policy) []core.ModelRun {
+	runs := make([]core.ModelRun, len(models))
+	for i, m := range models {
+		runs[i] = core.RunTraining(cfg, sim.Options{}, m, pol)
+	}
+	return runs
+}
+
+// improvementSummary renders the average execution-time reduction of runs
+// against base.
+func improvementSummary(label string, base, runs []core.ModelRun) (string, float64) {
+	var imps []float64
+	for i := range runs {
+		imps = append(imps, core.Improvement(base[i], runs[i]))
+	}
+	avg := stats.Mean(imps)
+	return fmt.Sprintf("%s: average execution-time reduction %s", label, stats.Pct(avg)), avg
+}
+
+// All runs every experiment in paper order.
+func All() []Report {
+	return []Report{
+		Fig03(),
+		Fig05(),
+		Fig06(),
+		Fig12(),
+		Fig13(),
+		Alg1(),
+		Fig14(),
+		Fig15(),
+		Fig16(),
+		Fig17(),
+		KNNSelection(DefaultKNNTrials),
+	}
+}
+
+// ByID returns the named experiment report.
+func ByID(id string) (Report, error) {
+	switch strings.ToLower(id) {
+	case "3", "fig3", "fig03":
+		return Fig03(), nil
+	case "5", "fig5", "fig05":
+		return Fig05(), nil
+	case "6", "fig6", "fig06":
+		return Fig06(), nil
+	case "12", "fig12":
+		return Fig12(), nil
+	case "13", "fig13":
+		return Fig13(), nil
+	case "14", "fig14":
+		return Fig14(), nil
+	case "15", "fig15":
+		return Fig15(), nil
+	case "16", "fig16":
+		return Fig16(), nil
+	case "17", "fig17":
+		return Fig17(), nil
+	case "alg1", "sec4.3":
+		return Alg1(), nil
+	case "knn", "sec5":
+		return KNNSelection(DefaultKNNTrials), nil
+	default:
+		return Report{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"fig3", "fig5", "fig6", "fig12", "fig13", "alg1", "fig14", "fig15", "fig16", "fig17", "knn"}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/stats"
+)
+
+func TestIDsResolve(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "knn" {
+			continue // exercised separately with a tiny trial count
+		}
+		// Resolution only — running every figure here would take minutes.
+		if _, err := ByID("definitely-not-" + id); err == nil {
+			t.Fatalf("bogus id accepted")
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestSuiteForMatchesConfig(t *testing.T) {
+	small := suiteFor(config.SmallNPU())
+	large := suiteFor(config.LargeNPU())
+	if small[7].Name == large[7].Name {
+		t.Fatal("edge and server suites should use different bert variants")
+	}
+	if len(small) != 9 || len(large) != 9 {
+		t.Fatal("suites incomplete")
+	}
+}
+
+func TestFig05Shape(t *testing.T) {
+	rep := Fig05()
+	if rep.ID != "fig5" || rep.Table == nil || len(rep.Summary) != 2 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	out := rep.String()
+	// Every Table 4 model must appear.
+	for _, abbr := range []string{"rcnn", "goo", "ncf", "res", "dlrm", "mob", "yolo", "bert", "T5"} {
+		if !strings.Contains(out, abbr) {
+			t.Errorf("fig5 missing model %s", abbr)
+		}
+	}
+	// The paper's headline property: dY is a large share of backward reads.
+	if !strings.Contains(out, "paper 51.4%") {
+		t.Error("fig5 should cite the paper's number")
+	}
+}
+
+func TestFig06ShowsSpeedup(t *testing.T) {
+	rep := Fig06()
+	if len(rep.Summary) != 2 {
+		t.Fatalf("fig6 summaries: %v", rep.Summary)
+	}
+	// Ideal dY reuse can never slow training down.
+	for _, line := range rep.Summary {
+		if strings.Contains(line, "speedup 0.") {
+			t.Errorf("ideal reuse reported a slowdown: %s", line)
+		}
+	}
+}
+
+func TestImprovementSummaryFormatting(t *testing.T) {
+	base := []core.ModelRun{{FwdCycles: 100, BwdCycles: 100}}
+	runs := []core.ModelRun{{FwdCycles: 100, BwdCycles: 50}}
+	line, avg := improvementSummary("x", base, runs)
+	if avg != 0.25 {
+		t.Fatalf("avg = %g", avg)
+	}
+	if !strings.Contains(line, "+25.0%") {
+		t.Fatalf("line = %q", line)
+	}
+	_ = stats.Pct(avg)
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{ID: "t", Title: "title", Table: stats.NewTable("a"), Summary: []string{"s"}}
+	out := r.String()
+	if !strings.Contains(out, "== t: title ==") || !strings.Contains(out, "s") {
+		t.Fatalf("report string %q", out)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+)
+
+// Figure 3 decomposes total training time into five phases: forward pass,
+// backward pass, host<->device memory copies, loss computation, and the
+// parameter update. The paper profiles an NVIDIA A100 with PyTorch at
+// batch 256; we substitute our simulator for the two GEMM phases and a
+// roofline model (published A100 parameters) for the remaining three —
+// the claim the figure supports is only that the backward pass dominates
+// (56.5% vs 27.6% forward in the paper).
+const (
+	a100HBMBandwidth  = 1555e9 // bytes/s
+	a100PCIeBandwidth = 25e9   // effective host->device bytes/s
+	fig03Batch        = 256
+)
+
+// Fig03 reproduces the training-time breakdown.
+func Fig03() Report {
+	cfg := config.LargeNPU()
+	models := suiteFor(cfg)
+
+	t := stats.NewTable("model", "fwd%", "bwd%", "memcopy%", "loss%", "update%")
+	var fwdShare, bwdShare []float64
+
+	for _, m := range models {
+		// Simulated GEMM phases at the figure's batch size.
+		run := core.RunTraining(cfg.WithBatch(fig03Batch), sim.Options{}, m, core.PolBaseline)
+		fwdSec := float64(run.FwdCycles) / cfg.FrequencyHz
+		bwdSec := float64(run.BwdCycles) / cfg.FrequencyHz
+
+		// Roofline phases. Input copy: the first layer's activation bytes.
+		layers := m.Layers(fig03Batch)
+		inputBytes := float64(layers[0].Dims.SizeX()) * 4
+		if layers[0].XReuse > 0 {
+			inputBytes *= layers[0].XReuse
+		}
+		memcopySec := inputBytes / a100PCIeBandwidth
+
+		// Loss: elementwise over the final output.
+		last := layers[len(layers)-1].Dims
+		lossSec := float64(last.SizeY()) * 4 * 4 / a100HBMBandwidth
+
+		// Update: read weights + gradients + optimizer state, write weights
+		// (SGD with momentum: ~5 tensor passes over the parameters).
+		params := float64(m.Params()) * 4
+		updateSec := 5 * params / a100HBMBandwidth
+
+		total := fwdSec + bwdSec + memcopySec + lossSec + updateSec
+		t.AddRowF(
+			"%s", m.Abbr,
+			"%.1f", 100*fwdSec/total,
+			"%.1f", 100*bwdSec/total,
+			"%.1f", 100*memcopySec/total,
+			"%.1f", 100*lossSec/total,
+			"%.1f", 100*updateSec/total,
+		)
+		fwdShare = append(fwdShare, fwdSec/total)
+		bwdShare = append(bwdShare, bwdSec/total)
+	}
+
+	return Report{
+		ID:    "fig3",
+		Title: "Training-time decomposition (paper: fwd 27.6%, bwd 56.5%, rest ~16%)",
+		Table: t,
+		Summary: []string{
+			fmt.Sprintf("average forward share %.1f%% (paper 27.6%%)", 100*stats.Mean(fwdShare)),
+			fmt.Sprintf("average backward share %.1f%% (paper 56.5%%)", 100*stats.Mean(bwdShare)),
+		},
+	}
+}

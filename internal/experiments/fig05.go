@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/dram"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+)
+
+// Fig05 reproduces the dY traffic shares of the baseline backward pass on
+// the large NPU: dY as a fraction of all read+write traffic (paper average
+// 39.0%) and of read traffic (paper average 51.4%, with dlrm the highest at
+// 68.3%).
+func Fig05() Report {
+	cfg := config.LargeNPU()
+	models := suiteFor(cfg)
+
+	t := stats.NewTable("model", "dY/(R+W)%", "dY/R%")
+	var rw, r []float64
+	for _, m := range models {
+		run := core.RunBackwardOnly(cfg, sim.Options{}, m, core.PolBaseline)
+		tr := run.BwdTraffic
+		rwShare := tr.Share(dram.ClassDY)
+		rShare := tr.ReadShare(dram.ClassDY)
+		t.AddRowF("%s", m.Abbr, "%.1f", 100*rwShare, "%.1f", 100*rShare)
+		rw = append(rw, rwShare)
+		r = append(r, rShare)
+	}
+
+	return Report{
+		ID:    "fig5",
+		Title: "dY share of backward-pass DRAM traffic, baseline large NPU",
+		Table: t,
+		Summary: []string{
+			fmt.Sprintf("average dY share of read+write traffic %.1f%% (paper 39.0%%)", 100*stats.Mean(rw)),
+			fmt.Sprintf("average dY share of read traffic %.1f%% (paper 51.4%%)", 100*stats.Mean(r)),
+		},
+	}
+}

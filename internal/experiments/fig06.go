@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+)
+
+// Fig06 reproduces the Section 3.3 limit study: the baseline schedule with
+// the dW-side dY reads made free ("assuming the data are hypothetically
+// available without any external memory access"), i.e. the performance
+// potential of perfect dY reuse. The paper reports average speedups of
+// 1.43x on the large NPU and 1.70x on the small NPU.
+func Fig06() Report {
+	t := stats.NewTable("config", "model", "normalized time", "speedup")
+	summaries := make([]string, 0, 2)
+
+	for _, cfg := range []config.NPU{config.LargeNPU(), config.SmallNPU()} {
+		models := suiteFor(cfg)
+		var speedups []float64
+		for _, m := range models {
+			base := core.RunTraining(cfg, sim.Options{}, m, core.PolBaseline)
+			free := core.RunTraining(cfg, sim.Options{FreeDYOnDW: true}, m, core.PolBaseline)
+			norm := float64(free.TotalCycles()) / float64(base.TotalCycles())
+			sp := 1 / norm
+			t.AddRowF("%s", cfg.Name, "%s", m.Abbr, "%.3f", norm, "%.2fx", sp)
+			speedups = append(speedups, sp)
+		}
+		paper := 1.43
+		if cfg.Name == "small-npu" {
+			paper = 1.70
+		}
+		summaries = append(summaries, fmt.Sprintf(
+			"%s: average ideal-dY-reuse speedup %.2fx (paper %.2fx)",
+			cfg.Name, stats.GeoMean(speedups), paper))
+	}
+
+	return Report{
+		ID:      "fig6",
+		Title:   "Performance potential of reusing the entire dY (Section 3.3)",
+		Table:   t,
+		Summary: summaries,
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/stats"
+)
+
+// Fig12 reproduces the headline single-core result: per-model execution
+// time (forward + backward) under the three cumulative techniques,
+// normalized to the baseline, for both NPU classes. The paper reports
+// average reductions of 29.3% (small NPU) and 14.5% (large NPU) with all
+// techniques applied.
+func Fig12() Report {
+	t := stats.NewTable("config", "model", "interleaving", "+rearrangement", "+datapartitioning")
+	var summaries []string
+
+	for _, cfg := range []config.NPU{config.SmallNPU(), config.LargeNPU()} {
+		models := suiteFor(cfg)
+		base := trainingCycles(cfg, models, core.PolBaseline)
+		ilv := trainingCycles(cfg, models, core.PolInterleave)
+		rea := trainingCycles(cfg, models, core.PolRearrange)
+		par := trainingCycles(cfg, models, core.PolPartition)
+
+		for i, m := range models {
+			b := float64(base[i].TotalCycles())
+			t.AddRowF(
+				"%s", cfg.Name,
+				"%s", m.Abbr,
+				"%.3f", float64(ilv[i].TotalCycles())/b,
+				"%.3f", float64(rea[i].TotalCycles())/b,
+				"%.3f", float64(par[i].TotalCycles())/b,
+			)
+		}
+		paper := map[string]string{"small-npu": "0.8/23.8/29.3", "large-npu": "7.4/10.9/14.5"}[cfg.Name]
+		_, iAvg := improvementSummary("", base, ilv)
+		_, rAvg := improvementSummary("", base, rea)
+		_, pAvg := improvementSummary("", base, par)
+		summaries = append(summaries, fmt.Sprintf(
+			"%s: average reduction interleaving %.1f%%, +rearrangement %.1f%%, +datapartitioning %.1f%% (paper %s%%)",
+			cfg.Name, 100*iAvg, 100*rAvg, 100*pAvg, paper))
+	}
+
+	return Report{
+		ID:      "fig12",
+		Title:   "Normalized execution time of the cumulative techniques, single-core NPUs",
+		Table:   t,
+		Summary: summaries,
+	}
+}

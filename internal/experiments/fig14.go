@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/stats"
+)
+
+// Fig14 reproduces the multi-core scalability study: the full technique
+// stack on 1/2/4/8-core server NPUs, normalized to the baseline with the
+// same core count (DRAM bandwidth, SPM and batch scale with cores). The
+// paper reports reductions from 14.5% (one core) to 27.7% (eight cores),
+// with 23.7% on the TPUv4-like quad-core.
+func Fig14() Report {
+	t := stats.NewTable("cores", "model", "normalized time")
+	var summaries []string
+
+	for _, cores := range []int{1, 2, 4, 8} {
+		cfg := config.LargeNPU().WithCores(cores)
+		models := suiteFor(cfg)
+		base := trainingCycles(cfg, models, core.PolBaseline)
+		full := trainingCycles(cfg, models, core.PolPartition)
+		var imps []float64
+		for i, m := range models {
+			norm := float64(full[i].TotalCycles()) / float64(base[i].TotalCycles())
+			t.AddRowF("%d", cores, "%s", m.Abbr, "%.3f", norm)
+			imps = append(imps, 1-norm)
+		}
+		summaries = append(summaries, fmt.Sprintf(
+			"%d cores: average execution-time reduction %.1f%%", cores, 100*stats.Mean(imps)))
+	}
+	summaries = append(summaries, "paper: 14.5% (1 core) rising to 27.7% (8 cores), 23.7% at 4 cores")
+
+	return Report{
+		ID:      "fig14",
+		Title:   "Multi-core scalability of the full technique stack",
+		Table:   t,
+		Summary: summaries,
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/stats"
+)
+
+// Fig15 reproduces the DRAM-bandwidth sensitivity study: the full technique
+// stack on the single-core large NPU with 1x (150 GB/s), 0.5x and 0.25x
+// bandwidth, each normalized to the baseline at the same bandwidth. The
+// paper reports reductions of 14.5%, 19.3% and 22.7%: the scarcer the
+// bandwidth, the more on-chip reuse pays.
+func Fig15() Report {
+	t := stats.NewTable("bandwidth", "model", "normalized time")
+	var summaries []string
+
+	for _, scale := range []float64{1, 0.5, 0.25} {
+		cfg := config.LargeNPU()
+		cfg = cfg.WithBandwidth(cfg.DRAMBandwidth * scale)
+		models := suiteFor(cfg)
+		base := trainingCycles(cfg, models, core.PolBaseline)
+		full := trainingCycles(cfg, models, core.PolPartition)
+		var imps []float64
+		label := fmt.Sprintf("%.2gx (%.1f GB/s)", scale, cfg.DRAMBandwidth/1e9)
+		for i, m := range models {
+			norm := float64(full[i].TotalCycles()) / float64(base[i].TotalCycles())
+			t.AddRowF("%s", label, "%s", m.Abbr, "%.3f", norm)
+			imps = append(imps, 1-norm)
+		}
+		summaries = append(summaries, fmt.Sprintf(
+			"%s: average execution-time reduction %.1f%%", label, 100*stats.Mean(imps)))
+	}
+	summaries = append(summaries, "paper: 14.5% (1x), 19.3% (0.5x), 22.7% (0.25x)")
+
+	return Report{
+		ID:      "fig15",
+		Title:   "DRAM-bandwidth sensitivity of the full technique stack, large NPU",
+		Table:   t,
+		Summary: summaries,
+	}
+}

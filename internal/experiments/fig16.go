@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/stats"
+)
+
+// Fig16 reproduces the batch-size sensitivity study: the full technique
+// stack on the single-core large NPU with per-core batch sizes 8, 16 and
+// 32, each normalized to the baseline at the same batch. The paper reports
+// 14.5%, 14.7% and 14.0% — i.e. the benefit is essentially batch
+// independent.
+func Fig16() Report {
+	t := stats.NewTable("batch", "model", "normalized time")
+	var summaries []string
+
+	for _, batch := range []int{8, 16, 32} {
+		cfg := config.LargeNPU().WithBatch(batch)
+		models := suiteFor(cfg)
+		base := trainingCycles(cfg, models, core.PolBaseline)
+		full := trainingCycles(cfg, models, core.PolPartition)
+		var imps []float64
+		for i, m := range models {
+			norm := float64(full[i].TotalCycles()) / float64(base[i].TotalCycles())
+			t.AddRowF("%d", batch, "%s", m.Abbr, "%.3f", norm)
+			imps = append(imps, 1-norm)
+		}
+		summaries = append(summaries, fmt.Sprintf(
+			"batch %d: average execution-time reduction %.1f%%", batch, 100*stats.Mean(imps)))
+	}
+	summaries = append(summaries, "paper: 14.5% (batch 8), 14.7% (16), 14.0% (32)")
+
+	return Report{
+		ID:      "fig16",
+		Title:   "Batch-size sensitivity of the full technique stack, large NPU",
+		Table:   t,
+		Summary: summaries,
+	}
+}

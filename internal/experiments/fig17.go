@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+)
+
+// Fig17 reproduces the GPU validation study. The paper implements the
+// techniques as CUDA kernels on an RTX 3090, using SM shared memory as the
+// reuse buffer, measuring only the backward pass; its baseline is, per
+// layer, the better of (a) two sequential GEMM kernels and (b) one fused
+// kernel computing dX then dW sequentially — so the reported gains isolate
+// dY reuse from mere kernel fusion. We substitute the GPULike
+// configuration (128 KB shared-memory-sized buffer, per-SM bandwidth
+// share) and the same per-layer best-of-two baseline: (a) maps to the two
+// kernels with a buffer flush in between, (b) to the concatenated stream
+// without a flush. The paper reports cumulative improvements of 8.6%,
+// 20.3% and 30.3%.
+func Fig17() Report {
+	cfg := config.GPULike()
+	models := suiteFor(cfg) // gpu-like runs the edge-size variants (Section 6.6)
+
+	t := stats.NewTable("model", "interleaving", "+rearrangement", "+datapartitioning")
+	var iAll, rAll, pAll []float64
+
+	for _, m := range models {
+		var baseC, ilvC, reaC, parC int64
+		for _, lp := range core.PlanModel(cfg, m) {
+			p := lp.Params
+			if lp.Layer.SkipDX {
+				dw := core.TunedDWOnly(cfg, p)
+				r := sim.RunSchedules(cfg, sim.Options{}, dw)
+				baseC += r.Cycles
+				ilvC += r.Cycles
+				reaC += r.Cycles
+				parC += r.Cycles
+				continue
+			}
+			// GPU baseline: best of two-kernel and fused-sequential.
+			dxK, dwK := core.TunedBaselineKernels(cfg, p)
+			two := sim.RunSchedules(cfg, sim.Options{}, dxK, dwK)
+			fusedSeq := sim.RunSchedules(cfg, sim.Options{}, core.ConcatKernels(dxK, dwK))
+			baseC += min(two.Cycles, fusedSeq.Cycles)
+
+			ilvC += sim.RunSchedules(cfg, sim.Options{}, core.TunedInterleave(cfg, p)).Cycles
+			rea, _ := core.RearrangedTuned(cfg, p)
+			reaC += sim.RunSchedules(cfg, sim.Options{}, rea).Cycles
+			parC += core.RunBackward(cfg, sim.Options{}, p, core.PolPartition, false).Cycles
+		}
+		b := float64(baseC)
+		t.AddRowF("%s", m.Abbr,
+			"%.3f", float64(ilvC)/b,
+			"%.3f", float64(reaC)/b,
+			"%.3f", float64(parC)/b)
+		iAll = append(iAll, 1-float64(ilvC)/b)
+		rAll = append(rAll, 1-float64(reaC)/b)
+		pAll = append(pAll, 1-float64(parC)/b)
+	}
+
+	return Report{
+		ID:    "fig17",
+		Title: "GPU-like validation, backward pass only (baseline = best of unfused/fused-sequential)",
+		Table: t,
+		Summary: []string{
+			fmt.Sprintf("average reduction: interleaving %.1f%%, +rearrangement %.1f%%, +datapartitioning %.1f%%",
+				100*stats.Mean(iAll), 100*stats.Mean(rAll), 100*stats.Mean(pAll)),
+			"paper (RTX 3090): 8.6%, 20.3%, 30.3%",
+		},
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+)
+
+// DefaultKNNTrials is the number of random 80/20 splits used to estimate
+// the KNN selector's accuracy. The paper uses 1000 repetitions; the default
+// here keeps the harness quick — pass a higher count for a tighter
+// estimate.
+const DefaultKNNTrials = 100
+
+// knnSeed makes the study reproducible run to run.
+const knnSeed = 20231028 // MICRO'23 opening day
+
+// KNNSelection reproduces the Section 5 partition-scheme selection study on
+// a dual-core server NPU: every layer of every workload is labelled with
+// its empirically best partitioning scheme, a KNN classifier (features: the
+// dimensions of dX, dW and dY) is trained on random 80% splits, and its
+// accuracy is measured on the held-out 20%. The paper reports ~91% average
+// accuracy, and a dual-core improvement of 22.4% with ideal selection
+// versus 21.5% with KNN selection.
+func KNNSelection(trials int) Report {
+	if trials <= 0 {
+		trials = DefaultKNNTrials
+	}
+	cfg := config.LargeNPU().WithCores(2)
+	models := suiteFor(cfg)
+
+	// Label every layer with its empirically best scheme, and record the
+	// per-layer cycles of each scheme plus the baseline.
+	type labelled struct {
+		sample   core.SchemeSample
+		cycles   map[core.Scheme]int64
+		baseline int64
+	}
+	var data []labelled
+	var baseTotal, idealTotal int64
+
+	for _, m := range models {
+		for _, lp := range core.PlanModel(cfg, m) {
+			if lp.Layer.SkipDX {
+				continue
+			}
+			base := core.RunBackwardMulti(cfg, sim.Options{}, lp.Params, core.PolBaseline, false)
+			l := labelled{cycles: make(map[core.Scheme]int64), baseline: base.Cycles}
+			bestScheme := core.WeightSharing
+			var bestCycles int64 = -1
+			for _, sch := range core.Schemes() {
+				out := core.RunPartitionedScheme(cfg, sim.Options{}, lp.Params, sch, cfg.Cores)
+				l.cycles[sch] = out.Cycles
+				if bestCycles < 0 || out.Cycles < bestCycles {
+					bestCycles = out.Cycles
+					bestScheme = sch
+				}
+			}
+			l.sample = core.SchemeSample{Dims: lp.Params.Dims, Best: bestScheme}
+			data = append(data, l)
+			baseTotal += l.baseline
+			idealTotal += bestCycles
+		}
+	}
+
+	// Repeated random 80/20 splits for accuracy, and KNN-selected cycles
+	// accumulated over the held-out layers to estimate the end-to-end cost
+	// of mispredictions.
+	rng := rand.New(rand.NewSource(knnSeed))
+	var accs []float64
+	var knnTotal, knnIdealTotal, knnBaseTotal int64
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(len(data))
+		cut := len(data) * 8 / 10
+		train := make([]core.SchemeSample, 0, cut)
+		for _, i := range perm[:cut] {
+			train = append(train, data[i].sample)
+		}
+		sel, err := core.TrainSchemeSelector(train, core.DefaultSchemeK)
+		if err != nil {
+			panic(err)
+		}
+		correct := 0
+		for _, i := range perm[cut:] {
+			pred := sel.Predict(data[i].sample.Dims)
+			if pred == data[i].sample.Best {
+				correct++
+			}
+			knnTotal += data[i].cycles[pred]
+			knnIdealTotal += data[i].cycles[data[i].sample.Best]
+			knnBaseTotal += data[i].baseline
+		}
+		accs = append(accs, float64(correct)/float64(len(data)-cut))
+	}
+
+	t := stats.NewTable("metric", "measured", "paper")
+	t.AddRowF("%s", "KNN accuracy (avg)", "%.1f%%", 100*stats.Mean(accs), "%s", "91%")
+	idealImp := 1 - float64(idealTotal)/float64(baseTotal)
+	t.AddRowF("%s", "dual-core bwd reduction, ideal scheme", "%.1f%%", 100*idealImp, "%s", "22.4%")
+	knnImp := 0.0
+	if knnBaseTotal > 0 {
+		knnImp = 1 - float64(knnTotal)/float64(knnBaseTotal)
+		knnIdeal := 1 - float64(knnIdealTotal)/float64(knnBaseTotal)
+		t.AddRowF("%s", "dual-core bwd reduction, KNN scheme", "%.1f%%", 100*knnImp, "%s", "21.5%")
+		t.AddRowF("%s", "  (ideal on same held-out layers)", "%.1f%%", 100*knnIdeal, "%s", "")
+	}
+
+	return Report{
+		ID:    "knn",
+		Title: fmt.Sprintf("KNN partition-scheme selection, dual-core large NPU (%d trials, %d layers)", trials, len(data)),
+		Table: t,
+		Summary: []string{
+			fmt.Sprintf("average accuracy %.1f%% over %d random 80/20 splits", 100*stats.Mean(accs), trials),
+		},
+	}
+}

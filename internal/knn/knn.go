@@ -1,0 +1,125 @@
+// Package knn implements the K-nearest-neighbours classifier the paper uses
+// to select a data-partitioning scheme per layer (Section 5). Features are
+// z-score normalised; prediction is a majority vote over the K nearest
+// training samples by Euclidean distance, with ties broken by the nearer
+// neighbourhood.
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one labelled training point.
+type Sample struct {
+	Features []float64
+	Label    int
+}
+
+// Classifier is a trained KNN model.
+type Classifier struct {
+	k       int
+	dims    int
+	samples []Sample
+	mean    []float64
+	std     []float64
+}
+
+// Train fits a KNN classifier with neighbourhood size k.
+func Train(samples []Sample, k int) (*Classifier, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("knn: no training samples")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: invalid k %d", k)
+	}
+	if k > len(samples) {
+		k = len(samples)
+	}
+	dims := len(samples[0].Features)
+	if dims == 0 {
+		return nil, errors.New("knn: samples have no features")
+	}
+	for i, s := range samples {
+		if len(s.Features) != dims {
+			return nil, fmt.Errorf("knn: sample %d has %d features, want %d", i, len(s.Features), dims)
+		}
+	}
+
+	mean := make([]float64, dims)
+	for _, s := range samples {
+		for j, f := range s.Features {
+			mean[j] += f
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(samples))
+	}
+	std := make([]float64, dims)
+	for _, s := range samples {
+		for j, f := range s.Features {
+			d := f - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(samples)))
+		if std[j] == 0 {
+			std[j] = 1 // constant feature: normalisation is a no-op
+		}
+	}
+
+	c := &Classifier{k: k, dims: dims, mean: mean, std: std}
+	c.samples = make([]Sample, len(samples))
+	for i, s := range samples {
+		norm := make([]float64, dims)
+		for j, f := range s.Features {
+			norm[j] = (f - mean[j]) / std[j]
+		}
+		c.samples[i] = Sample{Features: norm, Label: s.Label}
+	}
+	return c, nil
+}
+
+// K returns the effective neighbourhood size.
+func (c *Classifier) K() int { return c.k }
+
+// Len returns the training-set size.
+func (c *Classifier) Len() int { return len(c.samples) }
+
+// Predict returns the majority label among the k nearest neighbours.
+func (c *Classifier) Predict(features []float64) int {
+	if len(features) != c.dims {
+		panic(fmt.Sprintf("knn: got %d features, want %d", len(features), c.dims))
+	}
+	type hit struct {
+		dist  float64
+		label int
+	}
+	hits := make([]hit, len(c.samples))
+	for i, s := range c.samples {
+		var d float64
+		for j, f := range features {
+			nf := (f - c.mean[j]) / c.std[j]
+			diff := nf - s.Features[j]
+			d += diff * diff
+		}
+		hits[i] = hit{dist: d, label: s.Label}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].dist < hits[b].dist })
+
+	votes := make(map[int]int)
+	best, bestVotes := hits[0].label, 0
+	for i := 0; i < c.k; i++ {
+		votes[hits[i].label]++
+		// Ties resolve to the label that reached the count first, i.e. the
+		// label with the nearer neighbourhood.
+		if votes[hits[i].label] > bestVotes {
+			bestVotes = votes[hits[i].label]
+			best = hits[i].label
+		}
+	}
+	return best
+}

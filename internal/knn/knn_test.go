@@ -1,0 +1,142 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func clusters() []Sample {
+	return []Sample{
+		{Features: []float64{0, 0}, Label: 0},
+		{Features: []float64{0.1, -0.1}, Label: 0},
+		{Features: []float64{-0.1, 0.2}, Label: 0},
+		{Features: []float64{10, 10}, Label: 1},
+		{Features: []float64{10.2, 9.9}, Label: 1},
+		{Features: []float64{9.8, 10.1}, Label: 1},
+	}
+}
+
+func TestPredictSeparableClusters(t *testing.T) {
+	c, err := Train(clusters(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("near origin: predicted %d", got)
+	}
+	if got := c.Predict([]float64{9, 11}); got != 1 {
+		t.Fatalf("near (10,10): predicted %d", got)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 3); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train(clusters(), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Train([]Sample{{Features: nil, Label: 0}}, 1); err == nil {
+		t.Error("featureless sample accepted")
+	}
+	bad := clusters()
+	bad[1].Features = []float64{1}
+	if _, err := Train(bad, 1); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestKClampedToTrainingSize(t *testing.T) {
+	c, err := Train(clusters()[:2], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 2 {
+		t.Fatalf("k = %d, want clamp to 2", c.K())
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestPredictDimensionMismatchPanics(t *testing.T) {
+	c, _ := Train(clusters(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on feature-dimension mismatch")
+		}
+	}()
+	c.Predict([]float64{1})
+}
+
+func TestNormalizationInvariance(t *testing.T) {
+	// Scaling one feature axis by a constant must not change predictions
+	// (z-score normalisation).
+	base := clusters()
+	scaled := make([]Sample, len(base))
+	for i, s := range base {
+		scaled[i] = Sample{Features: []float64{s.Features[0] * 1000, s.Features[1]}, Label: s.Label}
+	}
+	a, _ := Train(base, 3)
+	b, _ := Train(scaled, 3)
+	probes := [][2]float64{{0.3, 0.1}, {9.5, 10.4}, {5, 5.2}}
+	for _, p := range probes {
+		if a.Predict([]float64{p[0], p[1]}) != b.Predict([]float64{p[0] * 1000, p[1]}) {
+			t.Fatalf("normalisation not scale invariant at %v", p)
+		}
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{1, 0}, Label: 0},
+		{Features: []float64{1, 10}, Label: 1},
+	}
+	c, err := Train(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{1, 9}); got != 1 {
+		t.Fatalf("constant feature broke prediction: %d", got)
+	}
+}
+
+func TestK1MemorisesTrainingSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var samples []Sample
+	for i := 0; i < 30; i++ {
+		samples = append(samples, Sample{
+			Features: []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64()},
+			Label:    i % 4,
+		})
+	}
+	c, _ := Train(samples, 1)
+	for i, s := range samples {
+		if got := c.Predict(s.Features); got != s.Label {
+			t.Fatalf("sample %d: 1-NN mispredicted its own training point: %d != %d", i, got, s.Label)
+		}
+	}
+}
+
+func TestPredictReturnsTrainingLabel(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		labels := map[int]bool{}
+		samples := make([]Sample, n)
+		for i := range samples {
+			l := rng.Intn(3)
+			labels[l] = true
+			samples[i] = Sample{Features: []float64{rng.NormFloat64(), rng.NormFloat64()}, Label: l}
+		}
+		c, err := Train(samples, int(k%5)+1)
+		if err != nil {
+			return false
+		}
+		return labels[c.Predict([]float64{rng.NormFloat64(), rng.NormFloat64()})]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

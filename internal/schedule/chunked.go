@@ -1,0 +1,104 @@
+package schedule
+
+// Chunked partial-stationary loop orders: the multi-level tilings of the
+// prior scheduling studies the paper's baseline includes (GAMMA, Moon et
+// al.). The output is processed in chunks whose partial sums stay resident
+// in SPM while the reduction dimension runs in a middle loop; operand bands
+// are then streamed once per chunk instead of once per output tile row.
+// These orders complete each output tile only after the full reduction, so
+// they emit exactly the same op multiset as the reduction-inner orders.
+
+// clampChunk bounds a chunk size (in tiles) to [1, total].
+func clampChunk(chunk, total int) int {
+	if chunk < 1 {
+		return 1
+	}
+	if chunk > total {
+		return total
+	}
+	return chunk
+}
+
+// PartialStationaryDX generates the dX GEMM with row-chunked partials:
+//
+//	for each chunk of dX tile-rows:
+//	    for no (reduction): for mo in chunk: for ko: dX(mo,ko) += ...
+//
+// dY is read once per layer, W once per chunk; the live partials are
+// chunkRows x K.
+func PartialStationaryDX(p TileParams, chunkRows int) []Op {
+	mt, kt, nt := p.Tiling.Counts(p.Dims)
+	chunkRows = clampChunk(chunkRows, mt)
+	ops := make([]Op, 0, mt*kt*nt)
+	for mc := 0; mc < mt; mc += chunkRows {
+		hi := min(mc+chunkRows, mt)
+		for no := 0; no < nt; no++ {
+			for mo := mc; mo < hi; mo++ {
+				for ko := 0; ko < kt; ko++ {
+					ops = append(ops, p.DXOp(mo, ko, no, nt))
+				}
+			}
+		}
+	}
+	return ops
+}
+
+// PartialStationaryDXCols generates the dX GEMM with column-chunked
+// partials (chunks over K): W is read once per layer, dY once per chunk;
+// the live partials are M x chunkCols.
+func PartialStationaryDXCols(p TileParams, chunkCols int) []Op {
+	mt, kt, nt := p.Tiling.Counts(p.Dims)
+	chunkCols = clampChunk(chunkCols, kt)
+	ops := make([]Op, 0, mt*kt*nt)
+	for kc := 0; kc < kt; kc += chunkCols {
+		hi := min(kc+chunkCols, kt)
+		for no := 0; no < nt; no++ {
+			for ko := kc; ko < hi; ko++ {
+				for mo := 0; mo < mt; mo++ {
+					ops = append(ops, p.DXOp(mo, ko, no, nt))
+				}
+			}
+		}
+	}
+	return ops
+}
+
+// PartialStationaryDW generates the dW GEMM with row-chunked partials
+// (chunks over K): X is read once per layer, dY once per chunk; the live
+// partials are chunkRows x N.
+func PartialStationaryDW(p TileParams, chunkRows int) []Op {
+	mt, kt, nt := p.Tiling.Counts(p.Dims)
+	chunkRows = clampChunk(chunkRows, kt)
+	ops := make([]Op, 0, mt*kt*nt)
+	for kc := 0; kc < kt; kc += chunkRows {
+		hi := min(kc+chunkRows, kt)
+		for mo := 0; mo < mt; mo++ {
+			for ko := kc; ko < hi; ko++ {
+				for no := 0; no < nt; no++ {
+					ops = append(ops, p.DWOp(ko, no, mo, mt))
+				}
+			}
+		}
+	}
+	return ops
+}
+
+// PartialStationaryDWCols generates the dW GEMM with column-chunked
+// partials (chunks over N): dY is read once per layer, X once per chunk;
+// the live partials are K x chunkCols.
+func PartialStationaryDWCols(p TileParams, chunkCols int) []Op {
+	mt, kt, nt := p.Tiling.Counts(p.Dims)
+	chunkCols = clampChunk(chunkCols, nt)
+	ops := make([]Op, 0, mt*kt*nt)
+	for nc := 0; nc < nt; nc += chunkCols {
+		hi := min(nc+chunkCols, nt)
+		for mo := 0; mo < mt; mo++ {
+			for no := nc; no < hi; no++ {
+				for ko := 0; ko < kt; ko++ {
+					ops = append(ops, p.DWOp(ko, no, mo, mt))
+				}
+			}
+		}
+	}
+	return ops
+}

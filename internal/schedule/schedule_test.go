@@ -1,0 +1,270 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/tensor"
+)
+
+func testParams(d tensor.Dims, t Tiling) TileParams {
+	return TileParams{Dims: d, Tiling: t, ElemBytes: 4, Layer: 3}
+}
+
+func TestTilingCounts(t *testing.T) {
+	tl := Tiling{Tm: 10, Tk: 7, Tn: 5}
+	mt, kt, nt := tl.Counts(tensor.Dims{M: 25, K: 14, N: 11})
+	if mt != 3 || kt != 2 || nt != 3 {
+		t.Fatalf("counts = %d/%d/%d", mt, kt, nt)
+	}
+}
+
+func TestOpCountMatchesCounts(t *testing.T) {
+	tl := Tiling{Tm: 10, Tk: 7, Tn: 5}
+	d := tensor.Dims{M: 25, K: 14, N: 11}
+	if got := tl.OpCount(d); got != 3*2*3 {
+		t.Fatalf("OpCount = %d", got)
+	}
+}
+
+func TestChooseTilingFitsSPM(t *testing.T) {
+	for _, cfg := range []config.NPU{config.SmallNPU(), config.LargeNPU(), config.GPULike()} {
+		for _, d := range []tensor.Dims{
+			{M: 25088, K: 576, N: 64},
+			{M: 8, K: 25088, N: 4096},
+			{M: 4096, K: 4096, N: 4096},
+			{M: 1, K: 1, N: 1},
+		} {
+			tl := ChooseTiling(d, cfg)
+			if tl.Tm <= 0 || tl.Tk <= 0 || tl.Tn <= 0 {
+				t.Fatalf("%s %v: non-positive tiling %+v", cfg.Name, d, tl)
+			}
+			if tl.Tm > d.M || tl.Tn > d.N {
+				t.Fatalf("%s %v: output tiles exceed dims %+v", cfg.Name, d, tl)
+			}
+			// Every single tile must fit in the SPM streaming half, or the
+			// residency model cannot hold it.
+			maxTile := int64(max(tl.Tm*tl.Tk, max(tl.Tk*tl.Tn, tl.Tm*tl.Tn))) * int64(cfg.ElemBytes)
+			if maxTile > cfg.SPMBytes/2 {
+				t.Fatalf("%s %v: tile of %d bytes exceeds half SPM", cfg.Name, d, maxTile)
+			}
+		}
+	}
+}
+
+func TestTileBytesEdgeClipping(t *testing.T) {
+	p := testParams(tensor.Dims{M: 25, K: 14, N: 11}, Tiling{Tm: 10, Tk: 7, Tn: 5})
+	// Interior X tile: 10x7 elements.
+	if got := p.XTile(0, 0).Bytes; got != 10*7*4 {
+		t.Fatalf("interior X tile bytes = %d", got)
+	}
+	// Edge X tile: rows 20..24 (5), cols 7..13 (7).
+	if got := p.XTile(2, 1).Bytes; got != 5*7*4 {
+		t.Fatalf("edge X tile bytes = %d", got)
+	}
+	// Edge dY tile: rows 20..24 (5), cols 10 (1).
+	if got := p.DYTile(2, 2).Bytes; got != 5*1*4 {
+		t.Fatalf("edge dY tile bytes = %d", got)
+	}
+}
+
+func TestXFactorScalesOnlyXAndDX(t *testing.T) {
+	p := testParams(tensor.Dims{M: 100, K: 90, N: 80}, Tiling{Tm: 10, Tk: 9, Tn: 8})
+	p.XFactor = 1.0 / 9
+	full := int64(10 * 9 * 4)
+	if got := p.XTile(0, 0).Bytes; got != full/9 {
+		t.Fatalf("X tile bytes = %d, want %d", got, full/9)
+	}
+	if got := p.DXTile(0, 0).Bytes; got != full/9 {
+		t.Fatalf("dX tile bytes = %d, want %d", got, full/9)
+	}
+	if got := p.WTile(0, 0).Bytes; got != int64(9*8*4) {
+		t.Fatalf("W tile bytes = %d (must not scale)", got)
+	}
+	if got := p.DYTile(0, 0).Bytes; got != int64(10*8*4) {
+		t.Fatalf("dY tile bytes = %d (must not scale)", got)
+	}
+}
+
+func TestXFactorNeverZeroBytes(t *testing.T) {
+	p := testParams(tensor.Dims{M: 2, K: 2, N: 2}, Tiling{Tm: 1, Tk: 1, Tn: 1})
+	p.XFactor = 1e-9
+	if p.XTile(0, 0).Bytes < 1 {
+		t.Fatal("scaled tile bytes must stay positive")
+	}
+}
+
+func TestTensorIDsDisjointAcrossLayers(t *testing.T) {
+	a := testParams(tensor.Dims{M: 4, K: 4, N: 4}, Tiling{Tm: 2, Tk: 2, Tn: 2})
+	b := a
+	b.Layer = 4
+	ids := map[uint16]bool{}
+	for _, p := range []TileParams{a, b} {
+		for _, tile := range []Tile{p.XTile(0, 0), p.WTile(0, 0), p.DYTile(0, 0), p.DXTile(0, 0), p.DWTile(0, 0), p.YTile(0, 0)} {
+			key := tile.Key.Tensor<<3 | uint16(tile.Key.Class)
+			if ids[key] {
+				t.Fatalf("tensor id collision: %v", tile.Key)
+			}
+			ids[key] = true
+		}
+	}
+}
+
+func TestPartialIDsDisjoint(t *testing.T) {
+	p := testParams(tensor.Dims{M: 4, K: 4, N: 4}, Tiling{Tm: 2, Tk: 2, Tn: 2})
+	seen := map[uint16]bool{}
+	for part := 0; part < MaxPartitions; part++ {
+		p.Part = part
+		for _, off := range []uint16{4, 5} { // idDX, idDW
+			id := p.PartialID(off)
+			if seen[id] {
+				t.Fatalf("partial id collision at part %d off %d", part, off)
+			}
+			if id < partialBase {
+				t.Fatalf("partial id %d below partialBase", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestPartialRedirection(t *testing.T) {
+	p := testParams(tensor.Dims{M: 4, K: 4, N: 4}, Tiling{Tm: 2, Tk: 2, Tn: 2})
+	p.DWPartial = true
+	p.Part = 1
+	dw := p.DWTile(0, 0)
+	if dw.Key.Class != dram.ClassAcc {
+		t.Fatalf("partial dW class = %v, want acc", dw.Key.Class)
+	}
+	p.DWPartial = false
+	if p.DWTile(0, 0).Key.Class != dram.ClassDW {
+		t.Fatal("non-partial dW must keep its class")
+	}
+}
+
+func TestPartitionOffsetsInKeys(t *testing.T) {
+	p := testParams(tensor.Dims{M: 4, K: 4, N: 4}, Tiling{Tm: 2, Tk: 2, Tn: 2})
+	p.OffM, p.OffK, p.OffN = 3, 5, 7
+	if k := p.XTile(1, 1).Key; k.Row != 4 || k.Col != 6 {
+		t.Fatalf("X key = %+v", k)
+	}
+	if k := p.WTile(1, 1).Key; k.Row != 6 || k.Col != 8 {
+		t.Fatalf("W key = %+v", k)
+	}
+	if k := p.DYTile(1, 1).Key; k.Row != 4 || k.Col != 8 {
+		t.Fatalf("dY key = %+v", k)
+	}
+}
+
+func TestBaselineStreamsVerify(t *testing.T) {
+	p := testParams(tensor.Dims{M: 25, K: 14, N: 11}, Tiling{Tm: 10, Tk: 7, Tn: 5})
+	for _, dxo := range []DXLoopOrder{DXOrderMK, DXOrderKM} {
+		for _, dwo := range []DWLoopOrder{DWOrderKN, DWOrderNK} {
+			s := BaselineBackwardOrdered(p, dxo, dwo)
+			if err := VerifyBackward(p, s.Ops, false); err != nil {
+				t.Errorf("orders %v/%v: %v", dxo, dwo, err)
+			}
+		}
+	}
+}
+
+func TestChunkedStreamsVerify(t *testing.T) {
+	p := testParams(tensor.Dims{M: 37, K: 23, N: 19}, Tiling{Tm: 8, Tk: 6, Tn: 4})
+	mt, kt, nt := p.Tiling.Counts(p.Dims)
+	for chunk := 1; chunk <= mt+1; chunk++ {
+		dx := PartialStationaryDX(p, chunk)
+		dw := PartialStationaryDW(p, min(chunk, kt))
+		ops := append(append([]Op{}, dx...), dw...)
+		if err := VerifyBackward(p, ops, false); err != nil {
+			t.Fatalf("row-chunk %d: %v", chunk, err)
+		}
+	}
+	for chunk := 1; chunk <= nt+1; chunk++ {
+		dx := PartialStationaryDXCols(p, min(chunk, kt))
+		dw := PartialStationaryDWCols(p, chunk)
+		ops := append(append([]Op{}, dx...), dw...)
+		if err := VerifyBackward(p, ops, false); err != nil {
+			t.Fatalf("col-chunk %d: %v", chunk, err)
+		}
+	}
+}
+
+func TestForwardVerifies(t *testing.T) {
+	p := testParams(tensor.Dims{M: 25, K: 14, N: 11}, Tiling{Tm: 10, Tk: 7, Tn: 5})
+	if err := VerifyForward(p, Forward(p).Ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesBrokenStreams(t *testing.T) {
+	p := testParams(tensor.Dims{M: 8, K: 8, N: 8}, Tiling{Tm: 4, Tk: 4, Tn: 4})
+	good := BaselineBackward(p).Ops
+
+	// Dropping an op breaks the reduction count.
+	if err := VerifyBackward(p, good[1:], false); err == nil {
+		t.Fatal("missing op not detected")
+	}
+	// Clearing an OutLast leaves an unfinalised tile.
+	bad := append([]Op{}, good...)
+	for i := range bad {
+		if bad[i].OutLast {
+			bad[i].OutLast = false
+			break
+		}
+	}
+	if err := VerifyBackward(p, bad, false); err == nil {
+		t.Fatal("missing OutLast not detected")
+	}
+	// Duplicating an OutFirst is caught.
+	bad2 := append([]Op{}, good...)
+	for i := range bad2 {
+		if !bad2[i].OutFirst {
+			bad2[i].OutFirst = true
+			break
+		}
+	}
+	if err := VerifyBackward(p, bad2, false); err == nil {
+		t.Fatal("duplicate OutFirst not detected")
+	}
+}
+
+func TestStreamsVerifyRandomDims(t *testing.T) {
+	f := func(m, k, n, tm, tk, tn uint8) bool {
+		d := tensor.Dims{M: int(m%40) + 1, K: int(k%40) + 1, N: int(n%40) + 1}
+		tl := Tiling{
+			Tm: min(int(tm%9)+1, d.M),
+			Tk: min(int(tk%9)+1, d.K),
+			Tn: min(int(tn%9)+1, d.N),
+		}
+		p := testParams(d, tl)
+		if err := VerifyBackward(p, BaselineBackward(p).Ops, false); err != nil {
+			return false
+		}
+		return VerifyForward(p, Forward(p).Ops) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumOutputBytes(t *testing.T) {
+	p := testParams(tensor.Dims{M: 8, K: 8, N: 8}, Tiling{Tm: 4, Tk: 4, Tn: 4})
+	dx := BaselineDX(p)
+	// dX outputs: the whole M x K tensor in FP32.
+	if got := SumOutputBytes(dx); got != 8*8*4 {
+		t.Fatalf("dX output bytes = %d", got)
+	}
+}
+
+func TestMaxLayersEnforced(t *testing.T) {
+	p := testParams(tensor.Dims{M: 2, K: 2, N: 2}, Tiling{Tm: 1, Tk: 1, Tn: 1})
+	p.Layer = uint16(MaxLayers + 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range layer id")
+		}
+	}()
+	p.XTile(0, 0)
+}

@@ -1,0 +1,61 @@
+package schedule
+
+import (
+	"igosim/internal/config"
+	"igosim/internal/tensor"
+)
+
+// ChooseTiling picks tile dimensions for one layer GEMM following the
+// baseline tiling strategy of the prior studies the paper cites (GAMMA,
+// Moon et al.): output tiles match the PE array footprint, and the
+// reduction-dimension tile is grown as large as the scratchpad working-set
+// budget allows, which minimises partial-sum revisits and operand re-sweeps.
+//
+// The budget reserves the streaming half of the SPM (double buffering) and
+// requires roughly four op working sets (A, B and output tiles) to be
+// co-resident, leaving room for the cross-op reuse the baseline already
+// exploits.
+func ChooseTiling(d tensor.Dims, cfg config.NPU) Tiling {
+	return chooseTiling(d, cfg.ArrayRows, cfg.ArrayCols, cfg.SPMBytes, cfg.ElemBytes)
+}
+
+func chooseTiling(d tensor.Dims, rows, cols int, spmBytes int64, elemBytes int) Tiling {
+	tm := min(d.M, rows)
+	tn := min(d.N, cols)
+
+	budgetElems := spmBytes / int64(2*elemBytes) // streaming half, in elements
+	perSet := budgetElems / 4                    // ~4 op working sets resident
+
+	tkMax := (perSet - int64(tm)*int64(tn)) / int64(tm+tn)
+	const (
+		tkFloor = 16
+		// tkCap keeps the contraction tile fine enough that the K dimension
+		// can be split across partitions and cores (Section 5's
+		// ifmap-sharing) without degenerating to one or two giant tiles.
+		tkCap = 256
+	)
+	tk := int(tkMax)
+	if tk < tkFloor {
+		tk = tkFloor
+	}
+	if tk > tkCap {
+		tk = tkCap
+	}
+	if tk > d.K {
+		tk = d.K
+	}
+	// Round to a multiple of 16 for realistic DMA alignment, unless the
+	// dimension itself is smaller.
+	if tk >= 32 {
+		tk -= tk % 16
+	}
+	return Tiling{Tm: tm, Tk: tk, Tn: tn}
+}
+
+// OpCount returns the number of tile ops one gradient GEMM generates under
+// tiling t — both backward GEMMs and the forward GEMM share this count, the
+// basis of the paper's "no extra computation" property.
+func (t Tiling) OpCount(d tensor.Dims) int {
+	mt, kt, nt := t.Counts(d)
+	return mt * kt * nt
+}

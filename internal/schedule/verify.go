@@ -1,0 +1,149 @@
+package schedule
+
+import (
+	"fmt"
+
+	"igosim/internal/tensor"
+)
+
+// VerifyBackward checks the structural invariants every backward-pass op
+// stream must satisfy for the layer described by p, regardless of access
+// order or partitioning:
+//
+//   - the stream contains exactly mt*kt*nt dX ops and mt*kt*nt dW ops
+//     (the transformations never add or remove computation);
+//   - every output tile sees exactly one OutFirst, exactly one OutLast, and
+//     exactly one accumulation step per reduction index;
+//   - OutFirst precedes every other touch of its tile and OutLast follows
+//     them (accumulation order is free, the endpoints are not);
+//   - all tile transfer sizes are positive.
+//
+// dwOnly relaxes the dX-op expectation for first-layer schedules.
+func VerifyBackward(p TileParams, ops []Op, dwOnly bool) error {
+	mt, kt, nt := p.Tiling.Counts(p.Dims)
+	wantDX := mt * kt * nt
+	if dwOnly {
+		wantDX = 0
+	}
+	wantDW := mt * kt * nt
+
+	type state struct {
+		touches   int
+		first     bool
+		last      bool
+		lastSeen  bool
+		firstSeen bool
+	}
+	acc := make(map[TileKey]*state)
+	var ndx, ndw int
+
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case KindDX:
+			ndx++
+		case KindDW:
+			ndw++
+		default:
+			return fmt.Errorf("schedule: op %d has kind %v in a backward stream", i, op.Kind)
+		}
+		if op.A.Bytes <= 0 || op.B.Bytes <= 0 || op.Out.Bytes <= 0 {
+			return fmt.Errorf("schedule: op %d has non-positive tile bytes", i)
+		}
+		if op.Tm <= 0 || op.Tk <= 0 || op.Tn <= 0 {
+			return fmt.Errorf("schedule: op %d has invalid tile dims %dx%dx%d", i, op.Tm, op.Tk, op.Tn)
+		}
+		s := acc[op.Out.Key]
+		if s == nil {
+			s = &state{}
+			acc[op.Out.Key] = s
+		}
+		if s.lastSeen {
+			return fmt.Errorf("schedule: op %d touches output %v after its OutLast", i, op.Out.Key)
+		}
+		if op.OutFirst {
+			if s.firstSeen {
+				return fmt.Errorf("schedule: output %v has two OutFirst ops", op.Out.Key)
+			}
+			if s.touches != 0 {
+				return fmt.Errorf("schedule: output %v touched before its OutFirst", op.Out.Key)
+			}
+			s.firstSeen = true
+		} else if !s.firstSeen {
+			return fmt.Errorf("schedule: output %v accumulated before OutFirst", op.Out.Key)
+		}
+		if op.OutLast {
+			s.lastSeen = true
+		}
+		s.touches++
+	}
+
+	if ndx != wantDX {
+		return fmt.Errorf("schedule: %d dX ops, want %d", ndx, wantDX)
+	}
+	if ndw != wantDW {
+		return fmt.Errorf("schedule: %d dW ops, want %d", ndw, wantDW)
+	}
+	for key, s := range acc {
+		if !s.lastSeen {
+			return fmt.Errorf("schedule: output %v never finalised", key)
+		}
+	}
+
+	// Validate reduction counts per output tile by kind: each dX tile
+	// accumulates over nt steps, each dW tile over mt.
+	counts := make(map[TileKey]int)
+	kinds := make(map[TileKey]Kind)
+	for i := range ops {
+		counts[ops[i].Out.Key]++
+		kinds[ops[i].Out.Key] = ops[i].Kind
+	}
+	for key, n := range counts {
+		want := nt
+		if kinds[key] == KindDW {
+			want = mt
+		}
+		if n != want {
+			return fmt.Errorf("schedule: output %v has %d accumulation steps, want %d", key, n, want)
+		}
+	}
+	return nil
+}
+
+// VerifyForward checks the forward-pass stream invariants.
+func VerifyForward(p TileParams, ops []Op) error {
+	mt, kt, nt := p.Tiling.Counts(p.Dims)
+	if len(ops) != mt*kt*nt {
+		return fmt.Errorf("schedule: %d forward ops, want %d", len(ops), mt*kt*nt)
+	}
+	counts := make(map[TileKey]int)
+	for i := range ops {
+		if ops[i].Kind != KindFwd {
+			return fmt.Errorf("schedule: op %d is %v in a forward stream", i, ops[i].Kind)
+		}
+		counts[ops[i].Out.Key]++
+	}
+	for key, n := range counts {
+		if n != kt {
+			return fmt.Errorf("schedule: forward output %v has %d steps, want %d", key, n, kt)
+		}
+	}
+	return nil
+}
+
+// SumOutputBytes returns the total bytes of distinct output tiles in a
+// stream — useful for checking writeback traffic expectations.
+func SumOutputBytes(ops []Op) int64 {
+	seen := make(map[TileKey]int64)
+	for i := range ops {
+		seen[ops[i].Out.Key] = ops[i].Out.Bytes
+	}
+	var sum int64
+	for _, b := range seen {
+		sum += b
+	}
+	return sum
+}
+
+// Dims echoes tensor.Dims for callers that only import schedule.
+type Dims = tensor.Dims

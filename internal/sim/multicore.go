@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/spm"
+	"igosim/internal/systolic"
+)
+
+// MultiResult is the outcome of a multi-core simulation.
+type MultiResult struct {
+	// Cycles is the makespan: the slowest core's completion time.
+	Cycles int64
+	// PerCore holds each core's individual result.
+	PerCore []Result
+	// Traffic is the aggregate DRAM traffic of all cores.
+	Traffic dram.Traffic
+	// SharedHits counts scratchpad hits on tiles a *different* core loaded,
+	// the benefit of the paper's shared-SPM organisation.
+	SharedHits int64
+}
+
+// Seconds converts the makespan to wall-clock time.
+func (r MultiResult) Seconds(cfg config.NPU) float64 { return float64(r.Cycles) / cfg.FrequencyHz }
+
+// corePipe is the per-core pipeline state of the multi-core engine.
+type corePipe struct {
+	memDone     int64
+	compDone    int64
+	prevCompEnd int64
+	res         Result
+}
+
+// RunMulti executes one op stream per core with deliberate shared-SPM
+// placement (the paper's inter-core distribution). See RunMultiPhased for
+// the phase semantics; RunMulti is the single-phase shared case.
+func RunMulti(cfg config.NPU, opts Options, streams [][]schedule.Op) MultiResult {
+	return RunMultiPhased(cfg, opts, [][][]schedule.Op{streams}, true)
+}
+
+// RunMultiPhased executes phases of concurrent per-core op streams on an
+// NPU whose cores share the scratchpad: residency is simulated on the
+// combined SPM over a round-robin merge of each phase's streams, so a tile
+// loaded by one core (for example the duplicated dY of ifmap-sharing
+// partitioning) hits for every other core. Each core owns its systolic
+// array and its per-core slice of DRAM bandwidth.
+//
+// Phases model synchronized kernel boundaries (for example the dX kernels
+// of all cores followed by the dW kernels under conventional data
+// parallelism): the scratchpad is flushed between phases, while per-core
+// pipeline time carries across.
+//
+// The scratchpad is physically shared by all cores (Section 2.2), but how
+// software uses it differs: conventional data-parallel execution allocates
+// each core's kernel buffers privately (shared == false — a tile loaded by
+// one core is invisible to the others), whereas the paper's inter-core
+// distribution step places partition-shared tensors once for all cores
+// (shared == true).
+//
+// Every phase must have between 1 and cfg.Cores streams; empty streams are
+// allowed (an idle core).
+func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shared bool) MultiResult {
+	if len(phases) == 0 {
+		panic("sim: no phases")
+	}
+	cores := 0
+	for _, streams := range phases {
+		if err := validateStreams(streams); err != nil {
+			panic(err)
+		}
+		if len(streams) > cfg.Cores {
+			panic("sim: more op streams than cores")
+		}
+		cores = max(cores, len(streams))
+	}
+	arr := systolic.New(cfg)
+	chn := dram.Channel{
+		BytesPerCycle: cfg.BytesPerCycle(), // per core
+		BurstLatency:  cfg.DRAMLatency,
+	}
+	// Shared placement: one residency set over the whole SPM. Private
+	// placement: each core owns an equal slice.
+	var bufs []*spm.Buffer[schedule.TileKey]
+	if shared {
+		bufs = []*spm.Buffer[schedule.TileKey]{spm.New[schedule.TileKey](cfg.TotalSPMBytes() / 2)}
+	} else {
+		bufs = make([]*spm.Buffer[schedule.TileKey], cores)
+		for c := range bufs {
+			bufs[c] = spm.New[schedule.TileKey](cfg.SPMBytes / 2)
+		}
+	}
+	bufFor := func(c int) *spm.Buffer[schedule.TileKey] {
+		if shared {
+			return bufs[0]
+		}
+		return bufs[c]
+	}
+	live := make(map[schedule.TileKey]int64)
+	loadedBy := make(map[schedule.TileKey]int, 1024)
+
+	pipes := make([]corePipe, cores)
+	var sharedHits int64
+
+	for pi, streams := range phases {
+		if pi > 0 {
+			for _, b := range bufs {
+				b.Flush()
+			}
+			clear(live)
+			clear(loadedBy)
+		}
+		next := make([]int, len(streams))
+		// Round-robin merge approximates concurrent execution for residency
+		// purposes; timing is tracked per core. The service order rotates
+		// every round so no single core systematically pays for the first
+		// fetch of tiles the partitions share.
+		for round := 0; ; round++ {
+			progressed := false
+			for i := range streams {
+				c := (round + i) % len(streams)
+				if next[c] >= len(streams[c]) {
+					continue
+				}
+				op := &streams[c][next[c]]
+				next[c]++
+				progressed = true
+				stepShared(op, c, arr, chn, bufFor(c), live, loadedBy, &pipes[c], opts, &sharedHits)
+			}
+			if !progressed {
+				break
+			}
+		}
+	}
+
+	out := MultiResult{PerCore: make([]Result, len(pipes)), SharedHits: sharedHits}
+	if !shared {
+		out.SharedHits = 0
+	}
+	for c := range pipes {
+		pipes[c].res.Cycles = pipes[c].compDone
+		out.PerCore[c] = pipes[c].res
+		out.Traffic.Merge(pipes[c].res.Traffic)
+		if pipes[c].compDone > out.Cycles {
+			out.Cycles = pipes[c].compDone
+		}
+	}
+	// Hit/miss stats live in the shared (or core-0) buffer; surface them on
+	// core 0's result.
+	if len(out.PerCore) > 0 {
+		out.PerCore[0].SPM = bufFor(0).Stats
+	}
+	return out
+}
+
+// stepShared is the multi-core variant of Engine.step operating on the
+// shared residency set.
+func stepShared(op *schedule.Op, core int, arr systolic.Array, chn dram.Channel,
+	buf *spm.Buffer[schedule.TileKey], live map[schedule.TileKey]int64,
+	loadedBy map[schedule.TileKey]int, p *corePipe, opts Options, sharedHits *int64) {
+
+	var fetchBytes, writeBytes int64
+	var bursts int
+
+	insert := func(k schedule.TileKey, bytes int64) {
+		for _, victim := range buf.Insert(k, bytes) {
+			vb, isLive := live[victim]
+			delete(loadedBy, victim)
+			if !isLive {
+				continue
+			}
+			writeBytes += vb
+			bursts++
+			p.res.Traffic.AddWrite(dram.ClassAcc, vb)
+			p.res.Spills++
+		}
+		loadedBy[k] = core
+	}
+
+	out := op.Out
+	if op.OutFirst {
+		if !op.OutLast {
+			live[out.Key] = out.Bytes
+		}
+		insert(out.Key, out.Bytes)
+	} else if !buf.Touch(out.Key) {
+		fetchBytes += out.Bytes
+		bursts++
+		p.res.Traffic.AddRead(dram.ClassAcc, out.Bytes)
+		insert(out.Key, out.Bytes)
+	}
+
+	for _, t := range [2]schedule.Tile{op.A, op.B} {
+		if buf.Touch(t.Key) {
+			if by, ok := loadedBy[t.Key]; ok && by != core {
+				*sharedHits++
+			}
+			continue
+		}
+		free := opts.FreeDYOnDW && op.Kind == schedule.KindDW && t.Key.Class == dram.ClassDY
+		if !free {
+			fetchBytes += t.Bytes
+			bursts++
+			p.res.Traffic.AddRead(t.Key.Class, t.Bytes)
+		}
+		insert(t.Key, t.Bytes)
+	}
+
+	if op.OutLast {
+		writeBytes += out.Bytes
+		bursts++
+		p.res.Traffic.AddWrite(out.Key.Class, out.Bytes)
+		buf.Remove(out.Key)
+		delete(live, out.Key)
+		delete(loadedBy, out.Key)
+	}
+
+	memCycles := chn.TransferCycles(fetchBytes+writeBytes, bursts)
+	compCycles := arr.TileCycles(op.Tm, op.Tk, op.Tn)
+
+	memStart := max(p.memDone, p.prevCompEnd)
+	memEnd := memStart + memCycles
+	compStart := max(p.compDone, memEnd)
+	compEnd := compStart + compCycles
+
+	p.memDone = memEnd
+	p.prevCompEnd = p.compDone
+	p.compDone = compEnd
+
+	p.res.ComputeCycles += compCycles
+	p.res.MemCycles += memCycles
+	p.res.Ops++
+}

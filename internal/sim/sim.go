@@ -1,0 +1,263 @@
+// Package sim is the NPU simulator engine. It executes tile-operation
+// streams (internal/schedule) against the scratchpad residency model
+// (internal/spm), the DRAM channel (internal/dram) and the systolic-array
+// timing model (internal/systolic), with double-buffered overlap of data
+// transfer and computation — the execution model the paper assumes
+// (Section 2.2 and 6.1).
+package sim
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/spm"
+	"igosim/internal/systolic"
+)
+
+// Options tweak engine behaviour for specific studies.
+type Options struct {
+	// FreeDYOnDW makes dY reads issued by dW-side operations free (no
+	// traffic, no transfer time), reproducing the Section 3.3 limit study
+	// ("we eliminate dY reads, assuming the data are hypothetically
+	// available without any external memory access").
+	FreeDYOnDW bool
+}
+
+// Result aggregates the outcome of simulated tile streams.
+type Result struct {
+	// Cycles is the pipelined makespan.
+	Cycles int64
+	// ComputeCycles is the sum of systolic compute time (no stalls).
+	ComputeCycles int64
+	// MemCycles is the sum of DMA transfer time (no overlap accounting).
+	MemCycles int64
+	// Traffic is the DRAM traffic broken down by tensor class.
+	Traffic dram.Traffic
+	// Ops is the number of tile operations executed.
+	Ops int64
+	// SPM reports scratchpad hit/miss/eviction counts.
+	SPM spm.Stats
+	// Spills counts live partial-sum tiles pushed to DRAM by pressure.
+	Spills int64
+}
+
+// Seconds converts the makespan to wall-clock time for the configuration.
+func (r Result) Seconds(cfg config.NPU) float64 { return float64(r.Cycles) / cfg.FrequencyHz }
+
+// Add merges another result that executed *sequentially after* r.
+func (r *Result) Add(o Result) {
+	r.Cycles += o.Cycles
+	r.ComputeCycles += o.ComputeCycles
+	r.MemCycles += o.MemCycles
+	r.Traffic.Merge(o.Traffic)
+	r.Ops += o.Ops
+	r.SPM.Hits += o.SPM.Hits
+	r.SPM.Misses += o.SPM.Misses
+	r.SPM.Evictions += o.SPM.Evictions
+	r.Spills += o.Spills
+}
+
+// Engine simulates one NPU core. The scratchpad streaming half persists
+// across Run calls so fused schedules can reuse resident tiles; call Reset
+// between independent measurements.
+type Engine struct {
+	cfg  config.NPU
+	arr  systolic.Array
+	chn  dram.Channel
+	buf  *spm.Buffer[schedule.TileKey]
+	live map[schedule.TileKey]int64 // active partial-sum tiles -> bytes
+	opts Options
+
+	// pipeline state
+	memDone     int64 // completion time of the DMA stage
+	compDone    int64 // completion time of the compute stage
+	prevCompEnd int64 // compute completion one op back (prefetch depth 2)
+
+	res Result
+}
+
+// NewEngine builds a single-core engine for cfg.
+func NewEngine(cfg config.NPU, opts Options) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{
+		cfg: cfg,
+		arr: systolic.New(cfg),
+		chn: dram.Channel{
+			BytesPerCycle: cfg.BytesPerCycle(),
+			BurstLatency:  cfg.DRAMLatency,
+		},
+		// Half of the SPM is the double-buffer fill target; the residency
+		// set models the other half (Section 2.2).
+		buf:  spm.New[schedule.TileKey](cfg.SPMBytes / 2),
+		live: make(map[schedule.TileKey]int64),
+		opts: opts,
+	}
+}
+
+// Reset clears scratchpad contents, pipeline state and accumulated results.
+func (e *Engine) Reset() {
+	e.buf.Flush()
+	e.buf.ResetStats()
+	clear(e.live)
+	e.memDone, e.compDone, e.prevCompEnd = 0, 0, 0
+	e.res = Result{}
+}
+
+// FlushSPM empties the scratchpad without touching pipeline time or
+// accumulated results. It models a kernel boundary: sequential execution
+// frees each operation's staged buffers, which is exactly why the
+// conventional backward pass cannot reuse dY across the two gradient GEMMs
+// (Section 3.2).
+func (e *Engine) FlushSPM() {
+	e.buf.Flush()
+	clear(e.live)
+}
+
+// Result returns the accumulated result of all Run calls since Reset.
+func (e *Engine) Result() Result {
+	r := e.res
+	r.Cycles = e.compDone
+	r.SPM = e.buf.Stats
+	return r
+}
+
+// Run executes one op stream, continuing the pipeline from previous calls.
+func (e *Engine) Run(ops []schedule.Op) {
+	for i := range ops {
+		e.step(&ops[i])
+	}
+}
+
+// step executes a single tile op through the two-stage pipeline.
+func (e *Engine) step(op *schedule.Op) {
+	var fetchBytes, writeBytes int64
+	var bursts int
+
+	// Output (partial-sum) tile handling.
+	out := op.Out
+	if op.OutFirst {
+		if !op.OutLast {
+			e.live[out.Key] = out.Bytes
+		}
+		e.insert(out.Key, out.Bytes, &writeBytes, &bursts)
+	} else {
+		if !e.buf.Touch(out.Key) {
+			// The partial was spilled earlier; bring it back.
+			fetchBytes += out.Bytes
+			bursts++
+			e.res.Traffic.AddRead(dram.ClassAcc, out.Bytes)
+			e.insert(out.Key, out.Bytes, &writeBytes, &bursts)
+		}
+	}
+
+	// Operand tiles.
+	for _, t := range [2]schedule.Tile{op.A, op.B} {
+		if e.buf.Touch(t.Key) {
+			continue
+		}
+		free := e.opts.FreeDYOnDW && op.Kind == schedule.KindDW && t.Key.Class == dram.ClassDY
+		if !free {
+			fetchBytes += t.Bytes
+			bursts++
+			e.res.Traffic.AddRead(t.Key.Class, t.Bytes)
+		}
+		e.insert(t.Key, t.Bytes, &writeBytes, &bursts)
+	}
+
+	// Final accumulation: stream the finished output back to DRAM.
+	if op.OutLast {
+		writeBytes += out.Bytes
+		bursts++
+		e.res.Traffic.AddWrite(out.Key.Class, out.Bytes)
+		e.buf.Remove(out.Key)
+		delete(e.live, out.Key)
+	}
+
+	memCycles := e.chn.TransferCycles(fetchBytes+writeBytes, bursts)
+	compCycles := e.arr.TileCycles(op.Tm, op.Tk, op.Tn)
+
+	// Double-buffered pipeline: the DMA may run at most one op ahead of the
+	// compute stage (prefetch depth 2).
+	memStart := max(e.memDone, e.prevCompEnd)
+	memEnd := memStart + memCycles
+	compStart := max(e.compDone, memEnd)
+	compEnd := compStart + compCycles
+
+	e.memDone = memEnd
+	e.prevCompEnd = e.compDone
+	e.compDone = compEnd
+
+	e.res.ComputeCycles += compCycles
+	e.res.MemCycles += memCycles
+	e.res.Ops++
+}
+
+// insert places a tile in the residency set, charging spill writes for any
+// live partial-sum tiles that get evicted.
+func (e *Engine) insert(k schedule.TileKey, bytes int64, writeBytes *int64, bursts *int) {
+	for _, victim := range e.buf.Insert(k, bytes) {
+		vb, isLive := e.live[victim]
+		if !isLive {
+			continue // clean operand tile: dropping it is free
+		}
+		*writeBytes += vb
+		*bursts++
+		e.res.Traffic.AddWrite(dram.ClassAcc, vb)
+		e.res.Spills++
+	}
+}
+
+// RunSchedules is a convenience wrapper: it executes the given schedules in
+// order on a fresh single-core engine, flushing the scratchpad at each
+// schedule boundary (schedules model separate kernels), and returns the
+// combined result.
+func RunSchedules(cfg config.NPU, opts Options, scheds ...schedule.Schedule) Result {
+	e := NewEngine(cfg, opts)
+	for i, s := range scheds {
+		if i > 0 {
+			e.FlushSPM()
+		}
+		e.Run(s.Ops)
+	}
+	return e.Result()
+}
+
+// ReduceResult describes the cost of a cross-partition reduction phase.
+type ReduceResult struct {
+	Cycles  int64
+	Traffic dram.Traffic
+}
+
+// ReduceCost models the accumulation step that weight-sharing (dW) and
+// dY-sharing (dX) partitioning require: parts partial tensors of outBytes
+// each are read back, summed element-wise and the final tensor written out.
+// The sum itself is vector work that proceeds at DMA line rate, so the
+// phase is bandwidth-bound on the aggregate channel.
+func ReduceCost(cfg config.NPU, parts int, outBytes int64, finalClass dram.Class) ReduceResult {
+	if parts <= 1 || outBytes <= 0 {
+		return ReduceResult{}
+	}
+	chn := dram.Channel{
+		BytesPerCycle: cfg.TotalBandwidth() / cfg.FrequencyHz,
+		BurstLatency:  cfg.DRAMLatency,
+	}
+	var tr dram.Traffic
+	readBytes := int64(parts) * outBytes
+	tr.AddRead(dram.ClassAcc, readBytes)
+	tr.AddWrite(finalClass, outBytes)
+	return ReduceResult{
+		Cycles:  chn.TransferCycles(readBytes+outBytes, parts+1),
+		Traffic: tr,
+	}
+}
+
+func validateStreams(streams [][]schedule.Op) error {
+	if len(streams) == 0 {
+		return fmt.Errorf("sim: no op streams")
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package spm models the software-managed on-chip scratchpad memory of the
+// NPU. The simulator gives the streaming half of the SPM (the other half is
+// the double-buffer fill target) to a byte-accounted LRU residency set; data
+// reuse — including the cross-operation dY reuse the paper creates — then
+// *emerges* from the order of tile accesses rather than being asserted.
+package spm
+
+import "fmt"
+
+// Buffer is a byte-capacity LRU residency set over tile keys.
+// The zero value is not usable; construct with New.
+type Buffer[K comparable] struct {
+	capacity int64
+	used     int64
+	entries  map[K]*node[K]
+	head     *node[K] // most recently used
+	tail     *node[K] // least recently used
+
+	// Stats accumulates hit/miss/eviction counts since the last Reset.
+	Stats Stats
+}
+
+// Stats counts residency events.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+type node[K comparable] struct {
+	key        K
+	bytes      int64
+	prev, next *node[K]
+}
+
+// New creates a buffer holding at most capacity bytes.
+func New[K comparable](capacity int64) *Buffer[K] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spm: invalid capacity %d", capacity))
+	}
+	return &Buffer[K]{capacity: capacity, entries: make(map[K]*node[K])}
+}
+
+// Capacity returns the buffer capacity in bytes.
+func (b *Buffer[K]) Capacity() int64 { return b.capacity }
+
+// Used returns the bytes currently resident.
+func (b *Buffer[K]) Used() int64 { return b.used }
+
+// Len returns the number of resident tiles.
+func (b *Buffer[K]) Len() int { return len(b.entries) }
+
+// Contains reports residency without touching recency or stats.
+func (b *Buffer[K]) Contains(k K) bool {
+	_, ok := b.entries[k]
+	return ok
+}
+
+// Touch marks k as most recently used if resident, recording a hit or miss.
+func (b *Buffer[K]) Touch(k K) bool {
+	n, ok := b.entries[k]
+	if !ok {
+		b.Stats.Misses++
+		return false
+	}
+	b.Stats.Hits++
+	b.moveToFront(n)
+	return true
+}
+
+// Insert adds k with the given size, evicting least-recently-used tiles as
+// needed, and returns the evicted keys (oldest first). Inserting an already
+// resident key refreshes its recency and returns nil. A tile larger than
+// the whole buffer cannot be held: Insert panics, because the tiler is
+// required to produce SPM-fitting tiles.
+func (b *Buffer[K]) Insert(k K, bytes int64) []K {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("spm: invalid tile size %d", bytes))
+	}
+	if bytes > b.capacity {
+		panic(fmt.Sprintf("spm: tile of %d bytes exceeds SPM capacity %d", bytes, b.capacity))
+	}
+	if n, ok := b.entries[k]; ok {
+		b.moveToFront(n)
+		return nil
+	}
+	var evicted []K
+	for b.used+bytes > b.capacity {
+		v := b.tail
+		if v == nil {
+			break
+		}
+		b.remove(v)
+		b.Stats.Evictions++
+		evicted = append(evicted, v.key)
+	}
+	n := &node[K]{key: k, bytes: bytes}
+	b.entries[k] = n
+	b.used += bytes
+	b.pushFront(n)
+	return evicted
+}
+
+// Remove drops k from the buffer, reporting whether it was resident.
+func (b *Buffer[K]) Remove(k K) bool {
+	n, ok := b.entries[k]
+	if !ok {
+		return false
+	}
+	b.remove(n)
+	return true
+}
+
+// Flush empties the buffer, returning the number of tiles dropped.
+// Statistics are preserved.
+func (b *Buffer[K]) Flush() int {
+	n := len(b.entries)
+	b.entries = make(map[K]*node[K])
+	b.head, b.tail = nil, nil
+	b.used = 0
+	return n
+}
+
+// ResetStats zeroes the hit/miss/eviction counters.
+func (b *Buffer[K]) ResetStats() { b.Stats = Stats{} }
+
+func (b *Buffer[K]) pushFront(n *node[K]) {
+	n.prev = nil
+	n.next = b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+}
+
+func (b *Buffer[K]) remove(n *node[K]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	delete(b.entries, n.key)
+	b.used -= n.bytes
+}
+
+func (b *Buffer[K]) moveToFront(n *node[K]) {
+	if b.head == n {
+		return
+	}
+	b.remove(n)
+	b.entries[n.key] = n
+	b.used += n.bytes
+	b.pushFront(n)
+}

@@ -1,0 +1,174 @@
+package spm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndTouch(t *testing.T) {
+	b := New[string](100)
+	if b.Touch("a") {
+		t.Fatal("hit on empty buffer")
+	}
+	if evicted := b.Insert("a", 40); evicted != nil {
+		t.Fatalf("unexpected evictions %v", evicted)
+	}
+	if !b.Touch("a") {
+		t.Fatal("miss after insert")
+	}
+	if b.Used() != 40 || b.Len() != 1 {
+		t.Fatalf("used/len = %d/%d", b.Used(), b.Len())
+	}
+	if b.Stats.Hits != 1 || b.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", b.Stats)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	b := New[string](100)
+	b.Insert("a", 40)
+	b.Insert("b", 40)
+	b.Touch("a") // refresh a: b is now least recently used
+	evicted := b.Insert("c", 40)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if !b.Contains("a") || !b.Contains("c") || b.Contains("b") {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestInsertEvictsMultiple(t *testing.T) {
+	b := New[string](100)
+	b.Insert("a", 30)
+	b.Insert("b", 30)
+	b.Insert("c", 30)
+	evicted := b.Insert("big", 90)
+	if len(evicted) != 3 {
+		t.Fatalf("evicted %v, want all three", evicted)
+	}
+	if b.Used() != 90 || b.Len() != 1 {
+		t.Fatalf("used/len = %d/%d", b.Used(), b.Len())
+	}
+}
+
+func TestReinsertRefreshesRecency(t *testing.T) {
+	b := New[string](100)
+	b.Insert("a", 40)
+	b.Insert("b", 40)
+	b.Insert("a", 40) // refresh, no size change
+	if b.Used() != 80 {
+		t.Fatalf("used = %d after refresh", b.Used())
+	}
+	evicted := b.Insert("c", 40)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	b := New[string](100)
+	b.Insert("a", 60)
+	if !b.Remove("a") {
+		t.Fatal("remove reported missing")
+	}
+	if b.Remove("a") {
+		t.Fatal("double remove succeeded")
+	}
+	if b.Used() != 0 || b.Contains("a") {
+		t.Fatal("remove left residue")
+	}
+}
+
+func TestFlushKeepsStats(t *testing.T) {
+	b := New[string](100)
+	b.Insert("a", 10)
+	b.Touch("a")
+	if n := b.Flush(); n != 1 {
+		t.Fatalf("flush dropped %d tiles", n)
+	}
+	if b.Used() != 0 || b.Len() != 0 {
+		t.Fatal("flush incomplete")
+	}
+	if b.Stats.Hits != 1 {
+		t.Fatal("flush cleared stats")
+	}
+	b.ResetStats()
+	if b.Stats.Hits != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestOversizedTilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tile larger than buffer")
+		}
+	}()
+	New[int](10).Insert(1, 11)
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive tile size")
+		}
+	}()
+	New[int](10).Insert(1, 0)
+}
+
+func TestNewInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive capacity")
+		}
+	}()
+	New[int](0)
+}
+
+// TestAccountingInvariant checks with random workloads that Used() always
+// equals the sum of resident tile sizes and never exceeds capacity.
+func TestAccountingInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := New[uint16](256)
+		shadow := make(map[uint16]int64)
+		for _, op := range ops {
+			key := op % 37
+			size := int64(op%63) + 1
+			if op%3 == 0 {
+				if b.Remove(key) {
+					delete(shadow, key)
+				}
+				continue
+			}
+			if b.Contains(key) {
+				b.Touch(key)
+				continue
+			}
+			for _, v := range b.Insert(key, size) {
+				delete(shadow, v)
+			}
+			shadow[key] = size
+			var sum int64
+			for _, s := range shadow {
+				sum += s
+			}
+			if b.Used() != sum || b.Used() > b.Capacity() || b.Len() != len(shadow) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionsCountedInStats(t *testing.T) {
+	b := New[int](50)
+	b.Insert(1, 30)
+	b.Insert(2, 30)
+	if b.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", b.Stats.Evictions)
+	}
+}

@@ -1,0 +1,153 @@
+// Package stats provides the small aggregation and formatting helpers the
+// experiment harnesses share: normalized series, means, and fixed-width
+// text tables that mirror the rows the paper's figures report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive xs (0 if any is <= 0).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Normalize divides each value by its baseline (paired by index).
+func Normalize(values, base []float64) []float64 {
+	if len(values) != len(base) {
+		panic(fmt.Sprintf("stats: normalize length mismatch %d vs %d", len(values), len(base)))
+	}
+	out := make([]float64, len(values))
+	for i := range values {
+		if base[i] == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = values[i] / base[i]
+	}
+	return out
+}
+
+// ImprovementPct converts a normalized execution time to the paper's
+// "execution time reduction" percentage.
+func ImprovementPct(normalized float64) float64 { return 100 * (1 - normalized) }
+
+// Table accumulates rows for fixed-width text output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of formatted cells: each cell is (format, value).
+func (t *Table) AddRowF(cells ...any) {
+	if len(cells)%2 != 0 {
+		panic("stats: AddRowF needs (format, value) pairs")
+	}
+	row := make([]string, 0, len(cells)/2)
+	for i := 0; i < len(cells); i += 2 {
+		row = append(row, fmt.Sprintf(cells[i].(string), cells[i+1]))
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting: the
+// harnesses only emit identifiers and numbers).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a signed percentage.
+func Pct(frac float64) string { return fmt.Sprintf("%+.1f%%", 100*frac) }
+
+// SortedKeys returns the sorted keys of a string-keyed map.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %g", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean = %g", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("non-positive input must yield 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestGeoMeanLeqArithmetic(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 9, 5}, []float64{4, 3, 0})
+	if got[0] != 0.5 || got[1] != 3 || got[2] != 0 {
+		t.Fatalf("normalize = %v", got)
+	}
+}
+
+func TestNormalizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Normalize([]float64{1}, []float64{1, 2})
+}
+
+func TestImprovementPct(t *testing.T) {
+	if got := ImprovementPct(0.8); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("improvement = %g", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowF("%s", "beta-long", "%.2f", 3.14159)
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.14") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + separator + 2 rows
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	// Columns must align: all lines equal width.
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(l) > w+2 {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("x", "1")
+	csv := tab.CSV()
+	if csv != "a,b\nx,1\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestAddRowTruncatesExtras(t *testing.T) {
+	tab := NewTable("only")
+	tab.AddRow("a", "b", "c")
+	if strings.Contains(tab.String(), "b") {
+		t.Fatal("extra cells should be dropped")
+	}
+}
+
+func TestAddRowFOddArgsPanics(t *testing.T) {
+	tab := NewTable("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd AddRowF args")
+		}
+	}()
+	tab.AddRowF("%s")
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.125) != "+12.5%" {
+		t.Fatalf("Pct = %q", Pct(0.125))
+	}
+	if Pct(-0.05) != "-5.0%" {
+		t.Fatalf("Pct = %q", Pct(-0.05))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("sorted keys = %v", got)
+	}
+}

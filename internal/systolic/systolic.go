@@ -1,0 +1,70 @@
+// Package systolic models the compute timing of a systolic PE array,
+// following the analytical style of SCALE-Sim (the simulator the paper
+// builds on): a tiled GEMM is executed as a sequence of array passes, each
+// charged its pipeline fill, stream and drain cycles.
+package systolic
+
+import "igosim/internal/config"
+
+// Array is the timing model for one systolic core.
+type Array struct {
+	Rows, Cols int
+	Dataflow   config.Dataflow
+}
+
+// New builds the timing model for the given configuration.
+func New(c config.NPU) Array {
+	return Array{Rows: c.ArrayRows, Cols: c.ArrayCols, Dataflow: c.Dataflow}
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TileCycles returns the cycles needed to compute one tm x tk x tn tile
+// GEMM on the array.
+//
+// Output-stationary mapping: the tm x tn output tile is folded onto the
+// Rows x Cols array in ceil(tm/Rows)*ceil(tn/Cols) passes; each pass streams
+// tk partial products through the array and pays Rows+Cols-2 cycles of
+// skew/drain.
+//
+// Weight-stationary mapping: a tk x tn weight tile is preloaded (tk cycles,
+// folded), then tm activation rows stream through with the same skew.
+func (a Array) TileCycles(tm, tk, tn int) int64 {
+	if tm <= 0 || tk <= 0 || tn <= 0 {
+		return 0
+	}
+	// Consecutive folds stream back-to-back through the array, so the
+	// pipeline skew (Rows+Cols-2) is paid once per tile op, not per fold.
+	switch a.Dataflow {
+	case config.WeightStationary:
+		folds := int64(ceilDiv(tk, a.Rows)) * int64(ceilDiv(tn, a.Cols))
+		return folds*(int64(min(tk, a.Rows))+int64(tm)) + int64(a.Rows+a.Cols-2)
+	default: // OutputStationary
+		folds := int64(ceilDiv(tm, a.Rows)) * int64(ceilDiv(tn, a.Cols))
+		return folds*int64(tk) + int64(a.Rows+a.Cols-2)
+	}
+}
+
+// GEMMCycles returns the compute-only cycles of a full M x K x N GEMM tiled
+// with tiles tm x tk x tn (no memory stalls). Used for roofline estimates.
+func (a Array) GEMMCycles(m, k, n, tm, tk, tn int) int64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	tiles := int64(ceilDiv(m, tm)) * int64(ceilDiv(k, tk)) * int64(ceilDiv(n, tn))
+	return tiles * a.TileCycles(min(tm, m), min(tk, k), min(tn, n))
+}
+
+// Utilization returns the fraction of peak MACs a tm x tn output tile
+// achieves on the array: small tiles leave PE rows/columns idle, which is
+// why the paper notes that splitting M below the array width "does not
+// improve performance at all".
+func (a Array) Utilization(tm, tn int) float64 {
+	if tm <= 0 || tn <= 0 {
+		return 0
+	}
+	er := min(tm, a.Rows)
+	ec := min(tn, a.Cols)
+	return float64(er*ec) / float64(a.Rows*a.Cols)
+}

@@ -1,0 +1,107 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"igosim/internal/config"
+)
+
+func osArray() Array {
+	return Array{Rows: 128, Cols: 128, Dataflow: config.OutputStationary}
+}
+
+func TestTileCyclesOutputStationary(t *testing.T) {
+	a := osArray()
+	// One fold: tk stream + skew paid once.
+	if got := a.TileCycles(128, 100, 128); got != 100+254 {
+		t.Fatalf("single fold cycles = %d, want %d", got, 100+254)
+	}
+	// Four folds pipeline back to back.
+	if got := a.TileCycles(256, 100, 256); got != 4*100+254 {
+		t.Fatalf("four-fold cycles = %d, want %d", got, 4*100+254)
+	}
+}
+
+func TestTileCyclesWeightStationary(t *testing.T) {
+	a := Array{Rows: 64, Cols: 64, Dataflow: config.WeightStationary}
+	// One fold: weight load (min(tk,rows)) + tm stream + skew.
+	if got := a.TileCycles(32, 64, 64); got != int64(64+32+126) {
+		t.Fatalf("WS cycles = %d", got)
+	}
+}
+
+func TestTileCyclesZeroWork(t *testing.T) {
+	a := osArray()
+	for _, dims := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if got := a.TileCycles(dims[0], dims[1], dims[2]); got != 0 {
+			t.Errorf("TileCycles(%v) = %d, want 0", dims, got)
+		}
+	}
+}
+
+func TestTileCyclesMonotone(t *testing.T) {
+	a := osArray()
+	f := func(tm, tk, tn uint8) bool {
+		m, k, n := int(tm)+1, int(tk)+1, int(tn)+1
+		base := a.TileCycles(m, k, n)
+		return a.TileCycles(m+128, k, n) >= base &&
+			a.TileCycles(m, k+7, n) >= base &&
+			a.TileCycles(m, k, n+128) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMMCyclesConsistency(t *testing.T) {
+	a := osArray()
+	// 256x512x256 GEMM in 128^3-ish tiles: 2*4*2 = 16 tiles.
+	got := a.GEMMCycles(256, 512, 256, 128, 128, 128)
+	want := int64(16) * a.TileCycles(128, 128, 128)
+	if got != want {
+		t.Fatalf("GEMMCycles = %d, want %d", got, want)
+	}
+	if a.GEMMCycles(0, 1, 1, 1, 1, 1) != 0 {
+		t.Fatal("zero-dim GEMM should cost nothing")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	a := osArray()
+	if u := a.Utilization(128, 128); u != 1 {
+		t.Fatalf("full tile utilization = %g", u)
+	}
+	if u := a.Utilization(64, 128); u != 0.5 {
+		t.Fatalf("half-rows utilization = %g", u)
+	}
+	// The Section 5 observation: a batch smaller than the array wastes PEs.
+	if u := a.Utilization(8, 128); u != 8.0/128 {
+		t.Fatalf("skinny tile utilization = %g", u)
+	}
+	if u := a.Utilization(0, 10); u != 0 {
+		t.Fatalf("empty tile utilization = %g", u)
+	}
+	// Oversized tiles fold: utilization capped at 1.
+	if u := a.Utilization(1024, 1024); u != 1 {
+		t.Fatalf("folded utilization = %g", u)
+	}
+}
+
+func TestNewFromConfig(t *testing.T) {
+	a := New(config.SmallNPU())
+	if a.Rows != 45 || a.Cols != 45 {
+		t.Fatalf("array dims %dx%d", a.Rows, a.Cols)
+	}
+}
+
+func TestPipelinedFoldsCheaperThanSeparateOps(t *testing.T) {
+	// A single op with four folds must not cost more than four separate
+	// single-fold ops (the skew is amortised).
+	a := osArray()
+	fused := a.TileCycles(256, 64, 256)
+	separate := 4 * a.TileCycles(128, 64, 128)
+	if fused > separate {
+		t.Fatalf("folds not pipelined: fused %d > separate %d", fused, separate)
+	}
+}

@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a small row-major dense matrix of float64 used for functional
+// validation of schedules. It is deliberately minimal: the simulator never
+// computes values, so this type exists only so tests (and the correctness
+// checker in internal/core) can run a tile schedule numerically.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Add accumulates v into element (r, c).
+func (m *Matrix) Add(r, c int, v float64) { m.Data[r*m.Cols+c] += v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul computes a x b with a reference triple loop.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Set(c, r, m.At(r, c))
+		}
+	}
+	return out
+}
+
+// TileMulAdd accumulates the product of the [ar:ar+tm, ac:ac+tk] block of a
+// and the [br:br+tk, bc:bc+tn] block of b into the [or_:or_+tm, oc:oc+tn]
+// block of out. Blocks are clipped to matrix bounds, mirroring how edge
+// tiles behave in the simulator. transA selects a^T indexing for the left
+// operand (used by the dW = X^T x dY computation, which reads X through a
+// transposed access pattern rather than materialising X^T).
+func TileMulAdd(out, a, b *Matrix, or_, oc, ar, ac, br, bc, tm, tk, tn int, transA bool) {
+	for i := 0; i < tm; i++ {
+		if or_+i >= out.Rows {
+			break
+		}
+		for j := 0; j < tn; j++ {
+			if oc+j >= out.Cols {
+				break
+			}
+			sum := 0.0
+			for k := 0; k < tk; k++ {
+				var av float64
+				if transA {
+					// a is stored untransposed; read a[ac+k][ar+i].
+					if ac+k >= a.Rows || ar+i >= a.Cols {
+						continue
+					}
+					av = a.At(ac+k, ar+i)
+				} else {
+					if ar+i >= a.Rows || ac+k >= a.Cols {
+						continue
+					}
+					av = a.At(ar+i, ac+k)
+				}
+				if br+k >= b.Rows || bc+j >= b.Cols {
+					continue
+				}
+				sum += av * b.At(br+k, bc+j)
+			}
+			out.Add(or_+i, oc+j, sum)
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// equally shaped matrices.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var worst float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// FillPattern writes a deterministic, position-dependent pattern so that
+// misplaced tile indexing in a schedule is guaranteed to change results.
+func (m *Matrix) FillPattern(seed float64) {
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			m.Set(r, c, seed+math.Sin(float64(r*31+c*17))*0.5+float64(r%7)-float64(c%5))
+		}
+	}
+}

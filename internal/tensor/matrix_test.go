@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if !almostEq(c.Data[i], w) {
+			t.Fatalf("matmul[%d] = %g, want %g", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.FillPattern(0.3)
+	mt := m.Transpose()
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if m.At(r, c) != mt.At(c, r) {
+				t.Fatalf("transpose mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+	if diff := MaxAbsDiff(m, mt.Transpose()); diff != 0 {
+		t.Fatalf("double transpose changed matrix by %g", diff)
+	}
+}
+
+func TestTransposeProduct(t *testing.T) {
+	// Property: (A x B)^T == B^T x A^T.
+	f := func(seedA, seedB uint8) bool {
+		a := NewMatrix(5, 7)
+		b := NewMatrix(7, 3)
+		a.FillPattern(float64(seedA) / 16)
+		b.FillPattern(float64(seedB) / 16)
+		left := MatMul(a, b).Transpose()
+		right := MatMul(b.Transpose(), a.Transpose())
+		return MaxAbsDiff(left, right) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTileMulAddMatchesMatMul(t *testing.T) {
+	a := NewMatrix(6, 5)
+	b := NewMatrix(5, 4)
+	a.FillPattern(1.5)
+	b.FillPattern(-0.5)
+	want := MatMul(a, b)
+
+	got := NewMatrix(6, 4)
+	// Cover with 2x3x2 tiles including clipped edges.
+	for or_ := 0; or_ < 6; or_ += 2 {
+		for oc := 0; oc < 4; oc += 2 {
+			for kk := 0; kk < 5; kk += 3 {
+				TileMulAdd(got, a, b, or_, oc, or_, kk, kk, oc, 2, 3, 2, false)
+			}
+		}
+	}
+	if diff := MaxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("tiled product deviates by %g", diff)
+	}
+}
+
+func TestTileMulAddTransA(t *testing.T) {
+	a := NewMatrix(5, 6) // used as a^T: effective 6x5
+	b := NewMatrix(5, 4)
+	a.FillPattern(0.25)
+	b.FillPattern(2.0)
+	want := MatMul(a.Transpose(), b)
+
+	got := NewMatrix(6, 4)
+	TileMulAdd(got, a, b, 0, 0, 0, 0, 0, 0, 6, 5, 4, true)
+	if diff := MaxAbsDiff(got, want); diff > 1e-9 {
+		t.Fatalf("transA tiled product deviates by %g", diff)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.FillPattern(1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.FillPattern(1)
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left nonzero elements")
+		}
+	}
+}
+
+func TestFillPatternPositionDependent(t *testing.T) {
+	m := NewMatrix(8, 8)
+	m.FillPattern(0)
+	seen := make(map[float64]int)
+	for _, v := range m.Data {
+		seen[v]++
+	}
+	if len(seen) < 16 {
+		t.Fatalf("pattern too uniform: only %d distinct values", len(seen))
+	}
+}
+
+func TestNewMatrixInvalidPanics(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewMatrix(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	b.Set(1, 1, -3.5)
+	if got := MaxAbsDiff(a, b); got != 3.5 {
+		t.Fatalf("MaxAbsDiff = %g, want 3.5", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package tensor provides the shape algebra and a small dense-matrix
+// reference implementation used throughout the simulator.
+//
+// The simulator itself only consumes GEMM dimensions (it models time and
+// traffic, not values), but the Matrix type lets tests execute transformed
+// tile schedules numerically and verify that interleaving, reordering and
+// partitioning leave the computed gradients bit-identical to the sequential
+// baseline — the paper's "no extra computation, same results" claim.
+package tensor
+
+import "fmt"
+
+// Dims describes one GEMM in the canonical forward-pass orientation used by
+// the paper: X(M,K) x W(K,N) -> Y(M,N).
+//
+// The two backward-pass GEMMs of the same layer are then
+//
+//	dX(M,K) = dY(M,N) x W^T(N,K)
+//	dW(K,N) = X^T(K,M) x dY(M,N)
+//
+// so a single Dims value fully determines the shapes of all five tensors
+// (X, W, Y=dY, dX, dW) that the backward pass touches.
+type Dims struct {
+	M, K, N int
+}
+
+// Valid reports whether all three dimensions are positive.
+func (d Dims) Valid() bool { return d.M > 0 && d.K > 0 && d.N > 0 }
+
+// FLOPs returns the multiply-accumulate count of the forward GEMM.
+func (d Dims) FLOPs() int64 { return 2 * int64(d.M) * int64(d.K) * int64(d.N) }
+
+// Max returns the largest of the three dimensions.
+func (d Dims) Max() int { return max(d.M, max(d.K, d.N)) }
+
+// Min returns the smallest of the three dimensions.
+func (d Dims) Min() int { return min(d.M, min(d.K, d.N)) }
+
+// AlmostSquare reports whether the computation is "nearly square" in the
+// paper's sense (Section 4.3): the largest of M, K, N is less than ratio
+// times the smallest. The paper uses ratio = 4.
+func (d Dims) AlmostSquare(ratio float64) bool {
+	return float64(d.Max()) < ratio*float64(d.Min())
+}
+
+// SizeX returns the element count of the input feature map X.
+func (d Dims) SizeX() int64 { return int64(d.M) * int64(d.K) }
+
+// SizeW returns the element count of the weight tensor W.
+func (d Dims) SizeW() int64 { return int64(d.K) * int64(d.N) }
+
+// SizeY returns the element count of the output feature map Y (and of dY).
+func (d Dims) SizeY() int64 { return int64(d.M) * int64(d.N) }
+
+func (d Dims) String() string {
+	return fmt.Sprintf("M=%d K=%d N=%d", d.M, d.K, d.N)
+}
+
+// Conv2D describes a convolution layer before im2col lowering.
+type Conv2D struct {
+	Batch    int // N in NCHW
+	InC      int // input channels
+	InH, InW int // input spatial dims
+	OutC     int // filter count
+	KH, KW   int // kernel spatial dims
+	Stride   int
+	Pad      int
+}
+
+// OutH returns the output height of the convolution.
+func (c Conv2D) OutH() int { return (c.InH+2*c.Pad-c.KH)/c.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (c Conv2D) OutW() int { return (c.InW+2*c.Pad-c.KW)/c.Stride + 1 }
+
+// Im2Col lowers the convolution to the GEMM the simulator operates on,
+// following the paper's assumption that "all convolution layer computations
+// are transformed into GEMM operations by applying im2col":
+//
+//	M = Batch * OutH * OutW   (one row per output pixel)
+//	K = InC * KH * KW         (one column per receptive-field element)
+//	N = OutC                  (one output column per filter)
+func (c Conv2D) Im2Col() Dims {
+	return Dims{
+		M: c.Batch * c.OutH() * c.OutW(),
+		K: c.InC * c.KH * c.KW,
+		N: c.OutC,
+	}
+}
+
+// FC describes a fully connected layer: Batch x In -> Batch x Out.
+type FC struct {
+	Batch, In, Out int
+}
+
+// Dims lowers the fully connected layer to its GEMM dimensions.
+func (f FC) Dims() Dims { return Dims{M: f.Batch, K: f.In, N: f.Out} }

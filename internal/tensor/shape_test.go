@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDimsValid(t *testing.T) {
+	cases := []struct {
+		d    Dims
+		want bool
+	}{
+		{Dims{1, 1, 1}, true},
+		{Dims{128, 256, 512}, true},
+		{Dims{0, 1, 1}, false},
+		{Dims{1, 0, 1}, false},
+		{Dims{1, 1, 0}, false},
+		{Dims{-1, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.d.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDimsFLOPs(t *testing.T) {
+	d := Dims{M: 3, K: 5, N: 7}
+	if got := d.FLOPs(); got != 2*3*5*7 {
+		t.Fatalf("FLOPs = %d, want %d", got, 2*3*5*7)
+	}
+}
+
+func TestDimsMinMax(t *testing.T) {
+	d := Dims{M: 12, K: 5, N: 99}
+	if d.Max() != 99 || d.Min() != 5 {
+		t.Fatalf("Max/Min = %d/%d, want 99/5", d.Max(), d.Min())
+	}
+}
+
+func TestAlmostSquare(t *testing.T) {
+	cases := []struct {
+		d     Dims
+		ratio float64
+		want  bool
+	}{
+		{Dims{100, 100, 100}, 4, true},
+		{Dims{100, 399, 100}, 4, true},
+		{Dims{100, 400, 100}, 4, false}, // boundary: strict less-than
+		{Dims{1, 1, 4}, 4, false},
+		{Dims{8, 1024, 1024}, 4, false},
+	}
+	for _, c := range cases {
+		if got := c.d.AlmostSquare(c.ratio); got != c.want {
+			t.Errorf("AlmostSquare(%v, %g) = %v, want %v", c.d, c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestTensorSizes(t *testing.T) {
+	d := Dims{M: 4, K: 6, N: 8}
+	if d.SizeX() != 24 || d.SizeW() != 48 || d.SizeY() != 32 {
+		t.Fatalf("sizes = %d/%d/%d, want 24/48/32", d.SizeX(), d.SizeW(), d.SizeY())
+	}
+}
+
+func TestConv2DOutputDims(t *testing.T) {
+	// ResNet conv1: 224x224x3, 7x7/2 pad 3 -> 112x112.
+	c := Conv2D{Batch: 1, InC: 3, InH: 224, InW: 224, OutC: 64, KH: 7, KW: 7, Stride: 2, Pad: 3}
+	if c.OutH() != 112 || c.OutW() != 112 {
+		t.Fatalf("out dims = %dx%d, want 112x112", c.OutH(), c.OutW())
+	}
+	d := c.Im2Col()
+	want := Dims{M: 112 * 112, K: 3 * 49, N: 64}
+	if d != want {
+		t.Fatalf("im2col = %v, want %v", d, want)
+	}
+}
+
+func TestConv2DSamePadding(t *testing.T) {
+	c := Conv2D{Batch: 2, InC: 16, InH: 56, InW: 56, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if c.OutH() != 56 || c.OutW() != 56 {
+		t.Fatalf("same-padding conv changed spatial dims: %dx%d", c.OutH(), c.OutW())
+	}
+	d := c.Im2Col()
+	if d.M != 2*56*56 || d.K != 16*9 || d.N != 32 {
+		t.Fatalf("im2col = %v", d)
+	}
+}
+
+func TestFCDims(t *testing.T) {
+	d := FC{Batch: 4, In: 1024, Out: 1000}.Dims()
+	if (d != Dims{M: 4, K: 1024, N: 1000}) {
+		t.Fatalf("FC dims = %v", d)
+	}
+}
+
+func TestIm2ColBatchLinearity(t *testing.T) {
+	// Property: M scales linearly with batch, K and N do not depend on it.
+	f := func(b uint8) bool {
+		batch := int(b%8) + 1
+		c := Conv2D{Batch: batch, InC: 8, InH: 16, InW: 16, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+		d := c.Im2Col()
+		one := Conv2D{Batch: 1, InC: 8, InH: 16, InW: 16, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}.Im2Col()
+		return d.M == batch*one.M && d.K == one.K && d.N == one.N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlmostSquareScaleInvariance(t *testing.T) {
+	// Property: scaling all dims by the same factor preserves the verdict.
+	f := func(m, k, n uint8, s uint8) bool {
+		d := Dims{M: int(m) + 1, K: int(k) + 1, N: int(n) + 1}
+		scale := int(s%4) + 1
+		ds := Dims{M: d.M * scale, K: d.K * scale, N: d.N * scale}
+		return d.AlmostSquare(4) == ds.AlmostSquare(4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package workload
+
+// FasterRCNN builds the paper's "rcnn" workload (~19-20M parameters): a
+// two-stage detector with a ResNet-18 feature extractor, the region
+// proposal network, and the per-RoI detection head. The head processes
+// RoIsPerImage pooled regions per image, so its FC layers run with
+// M = batch * RoIsPerImage.
+func FasterRCNN() Model {
+	return Model{Name: "FasterRCNN", Abbr: "rcnn", build: buildFasterRCNN}
+}
+
+// RoIsPerImage is the number of sampled region proposals trained per image.
+const RoIsPerImage = 32
+
+func buildFasterRCNN(batch int) []Layer {
+	b := newBuilder(batch, 224, 224, 3)
+	resNet18Trunk(b)
+
+	// Region proposal network on the C5 feature map (9 anchors).
+	b.conv("rpn_conv", 512, 3, 1, 1)
+	rpnEntry := b.snapshot()
+	b.conv("rpn_cls", 18, 1, 1, 0)
+	b.restore(rpnEntry)
+	b.conv("rpn_bbox", 36, 1, 1, 0)
+	b.restore(rpnEntry)
+
+	// Detection head: RoIAlign produces 7x7x512 features per proposal.
+	rois := batch * RoIsPerImage
+	b.fc("head_fc6", rois, 512*7*7, 256)
+	b.fc("head_fc7", rois, 256, 256)
+	b.fc("head_cls", rois, 256, 21)
+	b.fc("head_bbox", rois, 256, 84)
+	return b.layers
+}

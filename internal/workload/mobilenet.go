@@ -1,0 +1,44 @@
+package workload
+
+import "fmt"
+
+// MobileNet builds the paper's "mob" workload: MobileNet v1 (width 1.0) on
+// 224x224 inputs, ~4.2M GEMM parameters.
+//
+// Depthwise convolutions are grouped per channel: their im2col lowering
+// degenerates to a batch of tiny independent GEMMs rather than one large
+// GEMM, so — like the paper, which applies its techniques to "layers where
+// weight gradients and input gradients can be computed using GEMM or
+// convolution" — we model the GEMM-shaped layers: the stem convolution,
+// all thirteen pointwise (1x1) convolutions, and the classifier. The
+// depthwise layers' spatial effect (stride-2 downsampling) is preserved.
+func MobileNet() Model {
+	return Model{Name: "Mobilenet", Abbr: "mob", build: buildMobileNet}
+}
+
+// dwSep appends one depthwise-separable block: the depthwise 3x3 stage
+// adjusts spatial dims (stride) without emitting a GEMM; the pointwise 1x1
+// stage is the emitted layer.
+func dwSep(b *builder, idx, outC, stride int) {
+	// Depthwise 3x3 stage: spatial change only.
+	b.pool(3, stride, 1)
+	b.conv(fmt.Sprintf("pw%d_1x1", idx), outC, 1, 1, 0)
+}
+
+func buildMobileNet(batch int) []Layer {
+	b := newBuilder(batch, 224, 224, 3)
+	b.conv("conv1", 32, 3, 2, 1)
+	specs := []struct{ outC, stride int }{
+		{64, 1},
+		{128, 2}, {128, 1},
+		{256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, s := range specs {
+		dwSep(b, i+1, s.outC, s.stride)
+	}
+	b.globalPool()
+	b.fc("fc1000", batch, 1024, 1000)
+	return b.layers
+}

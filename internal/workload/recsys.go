@@ -1,0 +1,67 @@
+package workload
+
+import "igosim/internal/tensor"
+
+// Recommendation models: the paper's "ncf" (3B parameters) and "dlrm"
+// (25B parameters) workloads. Their parameter counts are dominated by
+// embedding tables, whose gradients are sparse scatters rather than dense
+// GEMMs; the layers the paper's techniques apply to are the MLP towers and
+// per-feature projections, which is what we emit.
+//
+// Both models carry BatchScale=128: recommendation training uses batches
+// orders of magnitude larger than vision training (the MLPerf DLRM
+// reference uses 32768), and the paper's Figure 5 dY-traffic shares for
+// dlrm (68.3% of reads) are only reachable when the GEMM row dimension
+// dominates — i.e. with realistic recommendation batch sizes.
+
+// NCF builds the "ncf" workload: Neural Collaborative Filtering with a GMF
+// branch and an MLP tower over concatenated user/item embeddings.
+func NCF() Model {
+	return Model{Name: "NCF-recommendation", Abbr: "ncf", BatchScale: 128, build: buildNCF}
+}
+
+func buildNCF(batch int) []Layer {
+	const emb = 128 // user/item embedding width
+	b := &builder{batch: batch}
+	// MLP tower over concatenated [user, item] embeddings.
+	b.linear("mlp1", tensor.Dims{M: batch, K: 2 * emb, N: 256})
+	b.linear("mlp2", tensor.Dims{M: batch, K: 256, N: 128})
+	b.linear("mlp3", tensor.Dims{M: batch, K: 128, N: 64})
+	// NeuMF fusion: concat(GMF elementwise product [emb], MLP output [64]).
+	b.linear("neumf", tensor.Dims{M: batch, K: emb + 64, N: 1})
+	return b.layers
+}
+
+// DLRM builds the "dlrm" workload: the Facebook DLRM recommendation model
+// (MLPerf configuration): a bottom MLP over 13 dense features, 26 sparse
+// embedding lookups of width 128, pairwise feature interaction, and a top
+// MLP over the interaction output.
+//
+// The per-feature embedding projections run once per (sample, sparse
+// feature), so their GEMM row dimension is batch*26.
+func DLRM() Model {
+	return Model{Name: "DLRM", Abbr: "dlrm", BatchScale: 128, build: buildDLRM}
+}
+
+func buildDLRM(batch int) []Layer {
+	const (
+		emb        = 128                       // embedding width
+		sparse     = 26                        // sparse feature count
+		interactIn = 128 + (sparse+1)*sparse/2 // dense feature + pairwise dots = 479
+	)
+	b := &builder{batch: batch}
+	// Bottom MLP over the 13 dense features.
+	b.linear("bot1", tensor.Dims{M: batch, K: 13, N: 512})
+	b.linear("bot2", tensor.Dims{M: batch, K: 512, N: 256})
+	b.linear("bot3", tensor.Dims{M: batch, K: 256, N: emb})
+	// Per-feature embedding projection ahead of the interaction (learned
+	// per-feature transform; rows = batch x sparse features).
+	b.linear("emb_proj", tensor.Dims{M: batch * sparse, K: emb, N: emb})
+	// Top MLP over the pairwise-interaction output.
+	b.linear("top1", tensor.Dims{M: batch, K: interactIn, N: 1024})
+	b.linear("top2", tensor.Dims{M: batch, K: 1024, N: 1024})
+	b.linear("top3", tensor.Dims{M: batch, K: 1024, N: 512})
+	b.linear("top4", tensor.Dims{M: batch, K: 512, N: 256})
+	b.linear("top5", tensor.Dims{M: batch, K: 256, N: 1})
+	return b.layers
+}

@@ -1,0 +1,78 @@
+package workload
+
+import "fmt"
+
+// ResNet50 builds the paper's "res" workload: ResNet-50 on 224x224 inputs
+// (~25M parameters). Every convolution of the four bottleneck stages is
+// emitted, including the projection shortcuts, plus the final classifier.
+func ResNet50() Model {
+	return Model{Name: "Resnet50", Abbr: "res", build: buildResNet50}
+}
+
+// bottleneckStage appends `blocks` ResNet bottleneck blocks: 1x1 reduce,
+// 3x3, 1x1 expand, with a 1x1 projection shortcut on the first block.
+func bottleneckStage(b *builder, stage, blocks, mid, out, stride int) {
+	for blk := 0; blk < blocks; blk++ {
+		s := 1
+		if blk == 0 {
+			s = stride
+		}
+		entry := b.snapshot()
+		prefix := fmt.Sprintf("conv%d_%d", stage, blk+1)
+		b.conv(prefix+"_1x1a", mid, 1, s, 0)
+		b.conv(prefix+"_3x3", mid, 3, 1, 1)
+		b.conv(prefix+"_1x1b", out, 1, 1, 0)
+		if blk == 0 {
+			// Projection shortcut runs on the block's input.
+			exit := b.snapshot()
+			b.restore(entry)
+			b.conv(prefix+"_proj", out, 1, s, 0)
+			b.restore(exit)
+		}
+	}
+}
+
+func buildResNet50(batch int) []Layer {
+	b := newBuilder(batch, 224, 224, 3)
+	b.conv("conv1", 64, 7, 2, 3)
+	b.pool(3, 2, 1)
+	bottleneckStage(b, 2, 3, 64, 256, 1)
+	bottleneckStage(b, 3, 4, 128, 512, 2)
+	bottleneckStage(b, 4, 6, 256, 1024, 2)
+	bottleneckStage(b, 5, 3, 512, 2048, 2)
+	b.globalPool()
+	b.fc("fc1000", batch, 2048, 1000)
+	return b.layers
+}
+
+// ResNet18Trunk appends a ResNet-18 feature extractor (used as the
+// FasterRCNN backbone) and returns the builder for further layers.
+func resNet18Trunk(b *builder) {
+	b.conv("conv1", 64, 7, 2, 3)
+	b.pool(3, 2, 1)
+	basicStage(b, 2, 2, 64, 1)
+	basicStage(b, 3, 2, 128, 2)
+	basicStage(b, 4, 2, 256, 2)
+	basicStage(b, 5, 2, 512, 2)
+}
+
+// basicStage appends `blocks` ResNet basic blocks (two 3x3 convs each) with
+// a projection shortcut when the stage downsamples.
+func basicStage(b *builder, stage, blocks, out, stride int) {
+	for blk := 0; blk < blocks; blk++ {
+		s := 1
+		if blk == 0 {
+			s = stride
+		}
+		entry := b.snapshot()
+		prefix := fmt.Sprintf("conv%d_%d", stage, blk+1)
+		b.conv(prefix+"_3x3a", out, 3, s, 1)
+		b.conv(prefix+"_3x3b", out, 3, 1, 1)
+		if blk == 0 && (s != 1 || entry.c != out) {
+			exit := b.snapshot()
+			b.restore(entry)
+			b.conv(prefix+"_proj", out, 1, s, 0)
+			b.restore(exit)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import "fmt"
+
+// ServerSuite returns the nine workloads of Table 4 with the model sizes
+// the paper uses on the large (server) NPU: yolo=YOLOv5-L,
+// bert=BERT-large, T5=T5-large.
+func ServerSuite() []Model {
+	return []Model{
+		FasterRCNN(),
+		GoogLeNet(),
+		NCF(),
+		ResNet50(),
+		DLRM(),
+		MobileNet(),
+		YOLOv5L(),
+		BERTLarge(),
+		T5Large(),
+	}
+}
+
+// EdgeSuite returns the nine workloads with the small variants the paper
+// uses on the small (edge) NPU: yolo=YOLOv2-tiny, bert=BERT-tiny,
+// T5=T5-small.
+func EdgeSuite() []Model {
+	return []Model{
+		FasterRCNN(),
+		GoogLeNet(),
+		NCF(),
+		ResNet50(),
+		DLRM(),
+		MobileNet(),
+		YOLOv2Tiny(),
+		BERTTiny(),
+		T5Small(),
+	}
+}
+
+// SuiteFor returns the edge or server suite by name ("edge" or "server").
+func SuiteFor(class string) ([]Model, error) {
+	switch class {
+	case "edge", "small":
+		return EdgeSuite(), nil
+	case "server", "large":
+		return ServerSuite(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown suite %q (want edge or server)", class)
+	}
+}
+
+// ByAbbr finds a model in the given suite by its Table 4 abbreviation.
+func ByAbbr(suite []Model, abbr string) (Model, error) {
+	for _, m := range suite {
+		if m.Abbr == abbr || m.Name == abbr {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("workload: no model %q in suite", abbr)
+}
+
+// Abbrs lists the suite's abbreviations in order.
+func Abbrs(suite []Model) []string {
+	out := make([]string, len(suite))
+	for i, m := range suite {
+		out[i] = m.Abbr
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+
+	"igosim/internal/tensor"
+)
+
+// transformerSpec captures what the zoo needs of an encoder/decoder stack:
+// the weighted GEMMs of each block. Attention score/context matmuls carry
+// no trainable weights, so — like the paper, which applies its techniques
+// to layers with trainable parameters — they are not part of the layer
+// list.
+type transformerSpec struct {
+	name      string
+	seqLen    int
+	dModel    int
+	dFF       int
+	encLayers int
+	decLayers int // 0 for encoder-only models
+	vocabProj int // output projection width (0 to omit)
+}
+
+func (t transformerSpec) build(batch int) []Layer {
+	m := batch * t.seqLen
+	b := &builder{batch: batch}
+
+	attn := func(prefix string) {
+		b.linear(prefix+"_q", tensor.Dims{M: m, K: t.dModel, N: t.dModel})
+		b.linear(prefix+"_k", tensor.Dims{M: m, K: t.dModel, N: t.dModel})
+		b.linear(prefix+"_v", tensor.Dims{M: m, K: t.dModel, N: t.dModel})
+		b.linear(prefix+"_o", tensor.Dims{M: m, K: t.dModel, N: t.dModel})
+	}
+	ffn := func(prefix string) {
+		b.linear(prefix+"_ffn_up", tensor.Dims{M: m, K: t.dModel, N: t.dFF})
+		b.linear(prefix+"_ffn_down", tensor.Dims{M: m, K: t.dFF, N: t.dModel})
+	}
+
+	for i := 0; i < t.encLayers; i++ {
+		prefix := fmt.Sprintf("enc%d", i+1)
+		attn(prefix + "_self")
+		ffn(prefix)
+	}
+	for i := 0; i < t.decLayers; i++ {
+		prefix := fmt.Sprintf("dec%d", i+1)
+		attn(prefix + "_self")
+		attn(prefix + "_cross")
+		ffn(prefix)
+	}
+	if t.vocabProj > 0 {
+		b.linear("lm_head", tensor.Dims{M: m, K: t.dModel, N: t.vocabProj})
+	}
+	return b.layers
+}
+
+// BERTLarge builds the large-NPU "bert" variant: BERT-large (24 encoder
+// blocks, hidden 1024, FFN 4096, ~340M parameters) fine-tuned at sequence
+// length 128 with a small classification head.
+func BERTLarge() Model {
+	spec := transformerSpec{
+		name: "bert-large", seqLen: 128, dModel: 1024, dFF: 4096, encLayers: 24,
+	}
+	return Model{Name: "BERT-large", Abbr: "bert", build: func(batch int) []Layer {
+		ls := spec.build(batch)
+		ls = append(ls, Layer{Name: "pooler", Dims: tensor.Dims{M: batch, K: 1024, N: 1024}})
+		ls = append(ls, Layer{Name: "classifier", Dims: tensor.Dims{M: batch, K: 1024, N: 2}})
+		return ls
+	}}
+}
+
+// BERTTiny builds the small-NPU "bert" variant: BERT-tiny-class model
+// (2 encoder blocks, hidden 128, FFN 512) at sequence length 128.
+// Table 4 lists 14M parameters, which the token embeddings dominate;
+// the GEMM-lowered trainable layers are what the simulator consumes.
+func BERTTiny() Model {
+	spec := transformerSpec{
+		name: "bert-tiny", seqLen: 128, dModel: 128, dFF: 512, encLayers: 2,
+	}
+	return Model{Name: "BERT-tiny", Abbr: "bert", build: func(batch int) []Layer {
+		ls := spec.build(batch)
+		ls = append(ls, Layer{Name: "pooler", Dims: tensor.Dims{M: batch, K: 128, N: 128}})
+		ls = append(ls, Layer{Name: "classifier", Dims: tensor.Dims{M: batch, K: 128, N: 2}})
+		return ls
+	}}
+}
+
+// T5Large builds the large-NPU "T5" variant: T5-large (24 encoder + 24
+// decoder blocks, d_model 1024, d_ff 4096, ~770M parameters) at sequence
+// length 128 with the 32128-token vocabulary projection.
+func T5Large() Model {
+	spec := transformerSpec{
+		name: "t5-large", seqLen: 128, dModel: 1024, dFF: 4096,
+		encLayers: 24, decLayers: 24, vocabProj: 32128,
+	}
+	return Model{Name: "T5-large", Abbr: "T5", build: spec.build}
+}
+
+// T5Small builds the small-NPU "T5" variant: T5-small (6+6 blocks, d_model
+// 512, d_ff 2048, ~60M parameters) at sequence length 128.
+func T5Small() Model {
+	spec := transformerSpec{
+		name: "t5-small", seqLen: 128, dModel: 512, dFF: 2048,
+		encLayers: 6, decLayers: 6, vocabProj: 32128,
+	}
+	return Model{Name: "T5-small", Abbr: "T5", build: spec.build}
+}

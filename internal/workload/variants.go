@@ -1,0 +1,110 @@
+package workload
+
+import "fmt"
+
+// Additional model variants beyond the Table 4 suites, for custom studies
+// with cmd/sweep and the public API. They reuse the same builders with the
+// published architecture parameters.
+
+// BERTBase builds BERT-base: 12 encoder blocks, hidden 768, FFN 3072
+// (~110M parameters including embeddings; ~85M in GEMM layers).
+func BERTBase() Model {
+	spec := transformerSpec{
+		name: "bert-base", seqLen: 128, dModel: 768, dFF: 3072, encLayers: 12,
+	}
+	return Model{Name: "BERT-base", Abbr: "bert-base", build: spec.build}
+}
+
+// T5Base builds T5-base: 12+12 blocks, d_model 768, d_ff 3072 (~220M).
+func T5Base() Model {
+	spec := transformerSpec{
+		name: "t5-base", seqLen: 128, dModel: 768, dFF: 3072,
+		encLayers: 12, decLayers: 12, vocabProj: 32128,
+	}
+	return Model{Name: "T5-base", Abbr: "T5-base", build: spec.build}
+}
+
+// YOLOv5S builds YOLOv5-S (~7.2M parameters): the YOLOv5-L topology at
+// width multiple 0.5 and depth multiple 1/3.
+func YOLOv5S() Model {
+	return Model{Name: "YOLOv5-S", Abbr: "yolo-s", build: buildYOLOv5S}
+}
+
+func buildYOLOv5S(batch int) []Layer {
+	b := newBuilder(batch, 640, 640, 3)
+	b.conv("stem", 32, 6, 2, 2)
+	b.conv("down1", 64, 3, 2, 1)
+	c3Block(b, "c3_1", 64, 1)
+	b.conv("down2", 128, 3, 2, 1)
+	c3Block(b, "c3_2", 128, 2)
+	b.conv("down3", 256, 3, 2, 1)
+	c3Block(b, "c3_3", 256, 3)
+	b.conv("down4", 512, 3, 2, 1)
+	c3Block(b, "c3_4", 512, 1)
+	b.conv("sppf_cv1", 256, 1, 1, 0)
+	b.setChannels(1024)
+	b.conv("sppf_cv2", 512, 1, 1, 0)
+
+	b.conv("head_cv1", 256, 1, 1, 0)
+	b.restore(shape{h: 40, w: 40, c: 512})
+	c3Block(b, "head_c3_1", 256, 1)
+	b.conv("head_cv2", 128, 1, 1, 0)
+	b.restore(shape{h: 80, w: 80, c: 256})
+	c3Block(b, "head_c3_2", 128, 1)
+	p3 := b.snapshot()
+	b.conv("head_down1", 128, 3, 2, 1)
+	b.setChannels(256)
+	c3Block(b, "head_c3_3", 256, 1)
+	p4 := b.snapshot()
+	b.conv("head_down2", 256, 3, 2, 1)
+	b.setChannels(512)
+	c3Block(b, "head_c3_4", 512, 1)
+	p5 := b.snapshot()
+
+	b.restore(p3)
+	b.conv("detect_p3", 255, 1, 1, 0)
+	b.restore(p4)
+	b.conv("detect_p4", 255, 1, 1, 0)
+	b.restore(p5)
+	b.conv("detect_p5", 255, 1, 1, 0)
+	return b.layers
+}
+
+// ResNet18 builds a standalone ResNet-18 classifier (~11M parameters).
+func ResNet18() Model {
+	return Model{Name: "Resnet18", Abbr: "res18", build: func(batch int) []Layer {
+		b := newBuilder(batch, 224, 224, 3)
+		resNet18Trunk(b)
+		b.globalPool()
+		b.fc("fc1000", batch, 512, 1000)
+		return b.layers
+	}}
+}
+
+// Variants lists the extra models (not part of the Table 4 suites).
+func Variants() []Model {
+	return []Model{BERTBase(), T5Base(), YOLOv5S(), ResNet18()}
+}
+
+// AllModels returns every model the zoo knows: the requested suite plus
+// the extra variants.
+func AllModels(class string) ([]Model, error) {
+	suite, err := SuiteFor(class)
+	if err != nil {
+		return nil, err
+	}
+	return append(suite, Variants()...), nil
+}
+
+// FindModel looks a model up across a suite and the extra variants.
+func FindModel(class, abbr string) (Model, error) {
+	models, err := AllModels(class)
+	if err != nil {
+		return Model{}, err
+	}
+	m, err := ByAbbr(models, abbr)
+	if err != nil {
+		return Model{}, fmt.Errorf("workload: %q not found in %s suite or variants", abbr, class)
+	}
+	return m, nil
+}

@@ -1,0 +1,67 @@
+package workload
+
+import "testing"
+
+func TestVariantParams(t *testing.T) {
+	cases := []struct {
+		model  Model
+		want   int64
+		tolPct int64
+	}{
+		{BERTBase(), 85e6, 10},  // GEMM layers of BERT-base (110M incl. embeddings)
+		{T5Base(), 222e6, 15},   // ~220M
+		{YOLOv5S(), 7.2e6, 15},  // ~7.2M
+		{ResNet18(), 11.7e6, 5}, // ~11.7M
+	}
+	for _, c := range cases {
+		got := c.model.Params()
+		lo := c.want * (100 - c.tolPct) / 100
+		hi := c.want * (100 + c.tolPct) / 100
+		if got < lo || got > hi {
+			t.Errorf("%s: %d params, want %d +/- %d%%", c.model.Abbr, got, c.want, c.tolPct)
+		}
+	}
+}
+
+func TestVariantsBuild(t *testing.T) {
+	for _, m := range Variants() {
+		layers := m.Layers(8)
+		if len(layers) == 0 {
+			t.Fatalf("%s built no layers", m.Abbr)
+		}
+		for i, l := range layers {
+			if !l.Dims.Valid() {
+				t.Fatalf("%s layer %d invalid: %v", m.Abbr, i, l.Dims)
+			}
+		}
+	}
+}
+
+func TestFindModel(t *testing.T) {
+	if _, err := FindModel("server", "bert-base"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindModel("server", "res"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindModel("server", "missing"); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	if _, err := FindModel("bogus-suite", "res"); err == nil {
+		t.Fatal("bogus suite accepted")
+	}
+}
+
+func TestAllModelsDisjointAbbrs(t *testing.T) {
+	models, err := AllModels("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if seen[m.Abbr] {
+			t.Fatalf("duplicate abbreviation %q", m.Abbr)
+		}
+		seen[m.Abbr] = true
+	}
+}

@@ -1,0 +1,128 @@
+// Package workload defines the DNN model zoo of Table 4. Every model is a
+// list of trainable layers lowered to GEMM dimensions (convolutions via
+// im2col, as the paper's simulator assumes). The simulator consumes only
+// shapes, so the zoo is a faithful substitute for the authors' checkpoints:
+// training data never influences the paper's measurements.
+package workload
+
+import (
+	"fmt"
+
+	"igosim/internal/tensor"
+)
+
+// Layer is one trainable layer lowered to its forward GEMM dimensions.
+type Layer struct {
+	Name string
+	Dims tensor.Dims
+	// SkipDX marks the network's first trainable layer: there is no
+	// upstream activation to propagate into, so only dW is computed and the
+	// interleaving techniques do not apply (Section 6.2).
+	SkipDX bool
+	// XReuse is the fraction of unique DRAM bytes behind the layer's
+	// im2col-expanded X (and dX) matrix. im2col duplicates overlapping
+	// receptive fields (9x for a stride-1 3x3 convolution); an NPU performs
+	// the expansion on-chip and only moves the underlying feature map, so
+	// X/dX tile traffic is scaled by stride^2/(KH*KW), capped at 1.
+	// Zero means 1 (no expansion: FC/linear layers).
+	XReuse float64
+}
+
+// Model is one workload of Table 4.
+type Model struct {
+	// Name is the full model name; Abbr matches the paper's x-axis labels.
+	Name, Abbr string
+	// BatchScale multiplies the NPU batch size. Vision and language models
+	// use 1; recommendation models (ncf, dlrm) train with batches orders of
+	// magnitude larger (the MLPerf references use 2^15-ish), so they scale
+	// the configured batch by 128 to stay proportional across configs.
+	BatchScale int
+	build      func(batch int) []Layer
+}
+
+// Layers instantiates the model's trainable layers for the given base batch
+// size (the NPU configuration's total batch).
+func (m Model) Layers(batch int) []Layer {
+	if batch <= 0 {
+		panic(fmt.Sprintf("workload: invalid batch %d", batch))
+	}
+	scale := m.BatchScale
+	if scale < 1 {
+		scale = 1
+	}
+	ls := m.build(batch * scale)
+	if len(ls) == 0 {
+		panic(fmt.Sprintf("workload: model %s built no layers", m.Abbr))
+	}
+	ls[0].SkipDX = true
+	for i, l := range ls {
+		if !l.Dims.Valid() {
+			panic(fmt.Sprintf("workload: model %s layer %d (%s) has invalid dims %v", m.Abbr, i, l.Name, l.Dims))
+		}
+	}
+	return ls
+}
+
+// Params returns the trainable parameter count of the GEMM-lowered layers
+// (K*N per layer — weights are batch independent).
+func (m Model) Params() int64 {
+	var total int64
+	for _, l := range m.build(1) {
+		total += l.Dims.SizeW()
+	}
+	return total
+}
+
+// builder tracks spatial dimensions through a convolutional trunk so layer
+// GEMMs can be emitted as the architecture is walked.
+type builder struct {
+	layers []Layer
+	batch  int
+	h, w   int // current feature-map spatial dims
+	c      int // current channel count
+}
+
+func newBuilder(batch, inH, inW, inC int) *builder {
+	return &builder{batch: batch, h: inH, w: inW, c: inC}
+}
+
+// shape is a snapshot of the trunk state, used for branches.
+type shape struct{ h, w, c int }
+
+func (b *builder) snapshot() shape     { return shape{b.h, b.w, b.c} }
+func (b *builder) restore(s shape)     { b.h, b.w, b.c = s.h, s.w, s.c }
+func (b *builder) setChannels(c int)   { b.c = c }
+func (b *builder) spatial() (int, int) { return b.h, b.w }
+
+// conv appends a convolution layer and advances the trunk state.
+func (b *builder) conv(name string, outC, k, stride, pad int) {
+	cv := tensor.Conv2D{
+		Batch: b.batch, InC: b.c, InH: b.h, InW: b.w,
+		OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+	}
+	reuse := float64(stride*stride) / float64(k*k)
+	if reuse > 1 {
+		reuse = 1
+	}
+	b.layers = append(b.layers, Layer{Name: name, Dims: cv.Im2Col(), XReuse: reuse})
+	b.h, b.w, b.c = cv.OutH(), cv.OutW(), outC
+}
+
+// pool applies a pooling layer: spatial reduction only, no GEMM emitted.
+func (b *builder) pool(k, stride, pad int) {
+	b.h = (b.h+2*pad-k)/stride + 1
+	b.w = (b.w+2*pad-k)/stride + 1
+}
+
+// globalPool collapses the spatial dims to 1x1.
+func (b *builder) globalPool() { b.h, b.w = 1, 1 }
+
+// fc appends a fully connected layer with M rows (usually the batch).
+func (b *builder) fc(name string, rows, in, out int) {
+	b.layers = append(b.layers, Layer{Name: name, Dims: tensor.FC{Batch: rows, In: in, Out: out}.Dims()})
+}
+
+// linear appends a GEMM layer with explicit dimensions.
+func (b *builder) linear(name string, d tensor.Dims) {
+	b.layers = append(b.layers, Layer{Name: name, Dims: d})
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSuitesComplete(t *testing.T) {
+	for _, suite := range [][]Model{EdgeSuite(), ServerSuite()} {
+		if len(suite) != 9 {
+			t.Fatalf("suite has %d models, want 9 (Table 4)", len(suite))
+		}
+		want := []string{"rcnn", "goo", "ncf", "res", "dlrm", "mob", "yolo", "bert", "T5"}
+		for i, m := range suite {
+			if m.Abbr != want[i] {
+				t.Errorf("position %d: %s, want %s", i, m.Abbr, want[i])
+			}
+		}
+	}
+}
+
+func TestSuiteFor(t *testing.T) {
+	if _, err := SuiteFor("edge"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SuiteFor("server"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SuiteFor("bogus"); err == nil {
+		t.Fatal("bogus suite accepted")
+	}
+}
+
+func TestByAbbr(t *testing.T) {
+	m, err := ByAbbr(ServerSuite(), "res")
+	if err != nil || m.Name != "Resnet50" {
+		t.Fatalf("ByAbbr(res) = %v, %v", m.Name, err)
+	}
+	if _, err := ByAbbr(ServerSuite(), "nope"); err == nil {
+		t.Fatal("unknown abbreviation accepted")
+	}
+}
+
+func TestAbbrs(t *testing.T) {
+	if got := Abbrs(ServerSuite()); len(got) != 9 || got[3] != "res" {
+		t.Fatalf("Abbrs = %v", got)
+	}
+}
+
+// TestParameterCounts checks the GEMM parameter counts against the
+// published architectures (tolerances cover head/variant details).
+func TestParameterCounts(t *testing.T) {
+	cases := []struct {
+		model    Model
+		want     int64
+		tolPct   float64
+		citation string
+	}{
+		{ResNet50(), 25.5e6, 5, "ResNet-50 ~25.5M"},
+		{GoogLeNet(), 7e6, 15, "Inception v1 ~7M (Table 4 lists 62M; see zoo note)"},
+		{MobileNet(), 4.2e6, 10, "MobileNet v1 ~4.2M"},
+		{FasterRCNN(), 20e6, 10, "Table 4 lists 19M"},
+		{YOLOv2Tiny(), 11e6, 20, "YOLOv2-tiny ~11M"},
+		{YOLOv5L(), 46.5e6, 15, "YOLOv5-L ~46.5M"},
+		{BERTLarge(), 303e6, 15, "BERT-large encoder stack (340M incl. embeddings)"},
+		{T5Large(), 737e6, 10, "T5-large ~770M incl. embeddings"},
+		{T5Small(), 60e6, 30, "T5-small ~60M"},
+	}
+	for _, c := range cases {
+		got := c.model.Params()
+		lo := c.want * int64(100-c.tolPct) / 100
+		hi := c.want * int64(100+c.tolPct) / 100
+		if got < lo || got > hi {
+			t.Errorf("%s: %d params, want %d +/- %.0f%% (%s)", c.model.Abbr, got, c.want, c.tolPct, c.citation)
+		}
+	}
+}
+
+func TestLayersValidAndFirstSkipsDX(t *testing.T) {
+	for _, suite := range [][]Model{EdgeSuite(), ServerSuite()} {
+		for _, m := range suite {
+			layers := m.Layers(8)
+			if len(layers) == 0 {
+				t.Fatalf("%s: no layers", m.Abbr)
+			}
+			if !layers[0].SkipDX {
+				t.Errorf("%s: first layer must skip dX", m.Abbr)
+			}
+			for i, l := range layers {
+				if !l.Dims.Valid() {
+					t.Errorf("%s layer %d (%s): invalid dims %v", m.Abbr, i, l.Name, l.Dims)
+				}
+				if i > 0 && l.SkipDX {
+					t.Errorf("%s layer %d: only the first layer skips dX", m.Abbr, i)
+				}
+				if l.XReuse < 0 || l.XReuse > 1 {
+					t.Errorf("%s layer %d: XReuse %g out of range", m.Abbr, i, l.XReuse)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchScalesM(t *testing.T) {
+	for _, m := range ServerSuite() {
+		l8 := m.Layers(8)
+		l16 := m.Layers(16)
+		if len(l8) != len(l16) {
+			t.Fatalf("%s: layer count changed with batch", m.Abbr)
+		}
+		for i := range l8 {
+			if l16[i].Dims.M != 2*l8[i].Dims.M {
+				t.Errorf("%s layer %d: M did not scale with batch (%d vs %d)",
+					m.Abbr, i, l8[i].Dims.M, l16[i].Dims.M)
+			}
+			if l16[i].Dims.K != l8[i].Dims.K || l16[i].Dims.N != l8[i].Dims.N {
+				t.Errorf("%s layer %d: K/N must not depend on batch", m.Abbr, i)
+			}
+		}
+	}
+}
+
+func TestRecommendationBatchScale(t *testing.T) {
+	for _, abbr := range []string{"ncf", "dlrm"} {
+		m, _ := ByAbbr(ServerSuite(), abbr)
+		if m.BatchScale != 128 {
+			t.Errorf("%s: BatchScale = %d, want 128", abbr, m.BatchScale)
+		}
+	}
+	res, _ := ByAbbr(ServerSuite(), "res")
+	if res.BatchScale > 1 {
+		t.Error("vision models must not scale the batch")
+	}
+}
+
+func TestConvXReuse(t *testing.T) {
+	res := ResNet50()
+	layers := res.Layers(1)
+	// conv1 is 7x7 stride 2: reuse 4/49.
+	if got := layers[0].XReuse; got < 4.0/49-1e-9 || got > 4.0/49+1e-9 {
+		t.Fatalf("conv1 XReuse = %g, want %g", got, 4.0/49)
+	}
+	// 1x1 convolutions have no im2col expansion.
+	for _, l := range layers {
+		if l.Name == "conv2_1_1x1a" && l.XReuse != 1 {
+			t.Fatalf("1x1 conv XReuse = %g, want 1", l.XReuse)
+		}
+	}
+}
+
+func TestResNet50LayerShapes(t *testing.T) {
+	layers := ResNet50().Layers(1)
+	if len(layers) != 54 {
+		t.Fatalf("ResNet-50 emits %d layers, want 54 (53 conv + fc)", len(layers))
+	}
+	// conv1 im2col at batch 1: M=112*112, K=3*49, N=64.
+	if d := layers[0].Dims; d.M != 12544 || d.K != 147 || d.N != 64 {
+		t.Fatalf("conv1 dims %v", d)
+	}
+	last := layers[len(layers)-1]
+	if last.Dims.K != 2048 || last.Dims.N != 1000 {
+		t.Fatalf("classifier dims %v", last.Dims)
+	}
+}
+
+func TestTransformerLayerCounts(t *testing.T) {
+	// BERT-large: 24 blocks x 6 GEMMs + pooler + classifier.
+	if got := len(BERTLarge().Layers(1)); got != 24*6+2 {
+		t.Fatalf("bert-large layers = %d", got)
+	}
+	// T5-large: 24 enc x 6 + 24 dec x 10 + lm_head.
+	if got := len(T5Large().Layers(1)); got != 24*6+24*10+1 {
+		t.Fatalf("t5-large layers = %d", got)
+	}
+}
+
+func TestDLRMInteractionWidth(t *testing.T) {
+	layers := DLRM().Layers(1)
+	for _, l := range layers {
+		if l.Name == "top1" && l.Dims.K != 479 {
+			t.Fatalf("DLRM top MLP input = %d, want 479 (128 + 27*26/2)", l.Dims.K)
+		}
+	}
+}
+
+func TestModelsAreDeterministic(t *testing.T) {
+	a := YOLOv5L().Layers(8)
+	b := YOLOv5L().Layers(8)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic layer count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("layer %d differs between builds", i)
+		}
+	}
+}
+
+func TestInvalidBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive batch")
+		}
+	}()
+	ResNet50().Layers(0)
+}

@@ -1,0 +1,97 @@
+package workload
+
+import "fmt"
+
+// YOLOv2Tiny builds the small-NPU "yolo" variant of Table 4: YOLOv2-tiny
+// (~11M parameters) on 416x416 inputs — nine convolutions with max-pool
+// downsampling between them.
+func YOLOv2Tiny() Model {
+	return Model{Name: "YOLOv2-tiny", Abbr: "yolo", build: buildYOLOv2Tiny}
+}
+
+func buildYOLOv2Tiny(batch int) []Layer {
+	b := newBuilder(batch, 416, 416, 3)
+	widths := []int{16, 32, 64, 128, 256, 512}
+	for i, c := range widths {
+		b.conv(fmt.Sprintf("conv%d", i+1), c, 3, 1, 1)
+		stride := 2
+		if i == len(widths)-1 {
+			stride = 1 // final pool in YOLOv2-tiny keeps spatial size
+		}
+		b.pool(2, stride, 0)
+	}
+	b.conv("conv7", 1024, 3, 1, 1)
+	// A 1024->512 3x3 stage keeps the total at the ~11M parameters Table 4
+	// lists for the small yolo variant.
+	b.conv("conv8", 512, 3, 1, 1)
+	b.conv("conv9", 125, 1, 1, 0) // 5 anchors x (20 classes + 5)
+	return b.layers
+}
+
+// YOLOv5L builds the large-NPU "yolo" variant: YOLOv5-L (~47M parameters)
+// on 640x640 inputs. The CSP bottlenecks are emitted as their constituent
+// 1x1/3x3 convolutions; the SPPF block and the PANet head's convolutions
+// are included with their published widths.
+func YOLOv5L() Model {
+	return Model{Name: "YOLOv5-L", Abbr: "yolo", build: buildYOLOv5L}
+}
+
+// c3Block appends a YOLOv5 C3 module: two 1x1 entry convs, n bottlenecks
+// (1x1 + 3x3 each), and a 1x1 fuse conv.
+func c3Block(b *builder, name string, outC, n int) {
+	half := outC / 2
+	entry := b.snapshot()
+	b.conv(name+"_cv1", half, 1, 1, 0)
+	for i := 0; i < n; i++ {
+		b.conv(fmt.Sprintf("%s_m%d_cv1", name, i+1), half, 1, 1, 0)
+		b.conv(fmt.Sprintf("%s_m%d_cv2", name, i+1), half, 3, 1, 1)
+	}
+	b.restore(entry)
+	b.conv(name+"_cv2", half, 1, 1, 0)
+	b.setChannels(outC) // concat of the two paths
+	b.conv(name+"_cv3", outC, 1, 1, 0)
+}
+
+func buildYOLOv5L(batch int) []Layer {
+	b := newBuilder(batch, 640, 640, 3)
+	// Backbone (depth multiple 1.0, width multiple 1.0).
+	b.conv("stem", 64, 6, 2, 2)
+	b.conv("down1", 128, 3, 2, 1)
+	c3Block(b, "c3_1", 128, 3)
+	b.conv("down2", 256, 3, 2, 1)
+	c3Block(b, "c3_2", 256, 6)
+	b.conv("down3", 512, 3, 2, 1)
+	c3Block(b, "c3_3", 512, 9)
+	b.conv("down4", 1024, 3, 2, 1)
+	c3Block(b, "c3_4", 1024, 3)
+	// SPPF.
+	b.conv("sppf_cv1", 512, 1, 1, 0)
+	b.setChannels(2048) // concat of four pooled copies
+	b.conv("sppf_cv2", 1024, 1, 1, 0)
+
+	// PANet head (upsample path then downsample path).
+	b.conv("head_cv1", 512, 1, 1, 0)
+	b.restore(shape{h: 40, w: 40, c: 1024}) // upsampled + concat with P4
+	c3Block(b, "head_c3_1", 512, 3)
+	b.conv("head_cv2", 256, 1, 1, 0)
+	b.restore(shape{h: 80, w: 80, c: 512}) // upsampled + concat with P3
+	c3Block(b, "head_c3_2", 256, 3)
+	p3 := b.snapshot()
+	b.conv("head_down1", 256, 3, 2, 1)
+	b.setChannels(512) // concat
+	c3Block(b, "head_c3_3", 512, 3)
+	p4 := b.snapshot()
+	b.conv("head_down2", 512, 3, 2, 1)
+	b.setChannels(1024) // concat
+	c3Block(b, "head_c3_4", 1024, 3)
+	p5 := b.snapshot()
+
+	// Detect convs on the three scales (3 anchors x 85).
+	b.restore(p3)
+	b.conv("detect_p3", 255, 1, 1, 0)
+	b.restore(p4)
+	b.conv("detect_p4", 255, 1, 1, 0)
+	b.restore(p5)
+	b.conv("detect_p5", 255, 1, 1, 0)
+	return b.layers
+}
