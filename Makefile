@@ -1,0 +1,31 @@
+# Developer entry points. `make ci` is the full local gate; the repo's
+# tier-1 check remains `go build ./... && go test ./...` (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build test race bench vet ci golden
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The -race run includes the 16-goroutine cache/tuner hammer in
+# internal/core and the cold-vs-warm parallelism golden in
+# internal/experiments.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+ci: vet build race bench
+
+# Full-suite determinism check: regenerates every figure twice (cold at
+# -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.
+golden:
+	IGOSIM_GOLDEN_ALL=1 $(GO) test -run TestAllByteIdenticalAcrossParallelism -timeout 30m -v ./internal/experiments/

@@ -10,18 +10,23 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/experiments"
+	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
 	"igosim/internal/tensor"
 	"igosim/internal/workload"
 )
 
-// summaryMetric extracts the first "%" number following the given marker in
-// an experiment summary line and reports it on the benchmark.
+// summaryMetric extracts the first number following the given marker in an
+// experiment summary line and reports it on the benchmark. A missing
+// marker or an unparsable number fails the benchmark: these metrics are
+// the reproduction record, so silently reporting nothing would let a
+// reworded summary line go unnoticed.
 func summaryMetric(b *testing.B, rep experiments.Report, marker, unit string) {
 	b.Helper()
 	for _, line := range rep.Summary {
@@ -40,11 +45,14 @@ func summaryMetric(b *testing.B, rep experiments.Report, marker, unit string) {
 				break
 			}
 		}
-		if v, err := strconv.ParseFloat(strings.TrimPrefix(num.String(), "+"), 64); err == nil {
-			b.ReportMetric(v, unit)
-			return
+		v, err := strconv.ParseFloat(strings.TrimPrefix(num.String(), "+"), 64)
+		if err != nil {
+			b.Fatalf("%s: summary line %q has no parsable number after marker %q", rep.ID, line, marker)
 		}
+		b.ReportMetric(v, unit)
+		return
 	}
+	b.Fatalf("%s: no summary line contains marker %q (summaries: %q)", rep.ID, marker, rep.Summary)
 }
 
 func BenchmarkFig03Breakdown(b *testing.B) {
@@ -184,6 +192,35 @@ func BenchmarkAblationSharedSPM(b *testing.B) {
 			shared += l.SharedHits
 		}
 		b.ReportMetric(float64(shared), "cross_core_hits")
+	}
+}
+
+// --- runner: parallel speedup and memo effectiveness ---
+
+// BenchmarkRunnerSpeedup measures the wall-clock ratio of the same cold
+// experiment grid (one baseline training step per server-suite model) at
+// -j 1 versus -j 4, reporting it as speedup_x, plus the layer memo's hit
+// rate on the cold run. On a 4+ core machine the speedup approaches the
+// worker count; on a single core it hovers around 1.0x (scheduling
+// overhead only — the work itself is identical).
+func BenchmarkRunnerSpeedup(b *testing.B) {
+	cfg := config.LargeNPU()
+	models := workload.ServerSuite()
+	grid := func(j int) time.Duration {
+		prev := runner.SetParallelism(j)
+		defer runner.SetParallelism(prev)
+		core.ResetCaches() // cold: both widths pay full simulation cost
+		start := time.Now()
+		runner.Map(models, func(m workload.Model) core.ModelRun {
+			return core.RunTraining(cfg, sim.Options{}, m, core.PolBaseline)
+		})
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		seq := grid(1)
+		par := grid(4)
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_x")
+		b.ReportMetric(100*core.LayerMemoStats().HitRate(), "memo_hit_%")
 	}
 }
 

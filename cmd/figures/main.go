@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"igosim/internal/experiments"
+	"igosim/internal/runner"
 )
 
 func main() {
@@ -26,15 +28,24 @@ func main() {
 		trials = flag.Int("trials", experiments.DefaultKNNTrials, "KNN study repetitions")
 		csv    = flag.Bool("csv", false, "emit tables as CSV")
 		timing = flag.Bool("time", false, "print wall-clock time per experiment")
+		jobs   = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	runner.SetParallelism(*jobs)
 
 	ids := experiments.IDs()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")
 	}
 
-	for _, id := range ids {
+	// Experiments fan out through the runner (each is itself internally
+	// parallel, sharing the same worker budget and memo cache); reports are
+	// printed afterwards in request order, so output is identical at any -j.
+	type timed struct {
+		rep     experiments.Report
+		elapsed time.Duration
+	}
+	reports, err := runner.MapErr(context.Background(), ids, func(_ context.Context, id string) (timed, error) {
 		start := time.Now()
 		var rep experiments.Report
 		var err error
@@ -43,10 +54,18 @@ func main() {
 		} else {
 			rep, err = experiments.ByID(id)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
+				return timed{}, err
 			}
 		}
+		return timed{rep: rep, elapsed: time.Since(start)}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	for _, r := range reports {
+		rep := r.rep
 		if *csv {
 			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.Table.CSV())
 			for _, s := range rep.Summary {
@@ -56,7 +75,7 @@ func main() {
 			fmt.Println(rep)
 		}
 		if *timing {
-			fmt.Printf("[%s took %.1fs]\n\n", rep.ID, time.Since(start).Seconds())
+			fmt.Printf("[%s took %.1fs]\n\n", rep.ID, r.elapsed.Seconds())
 		}
 	}
 }

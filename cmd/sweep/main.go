@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"igosim/internal/analytic"
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
 	"igosim/internal/workload"
@@ -32,8 +34,10 @@ func main() {
 		spmList   = flag.String("spm", "8", "per-core SPM sizes to sweep, MiB")
 		coreList  = flag.String("cores", "1", "core counts to sweep")
 		csv       = flag.Bool("csv", false, "emit CSV")
+		jobs      = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	runner.SetParallelism(*jobs)
 
 	model, err := workload.FindModel(*suiteName, *modelName)
 	if err != nil {
@@ -52,29 +56,56 @@ func main() {
 		fatal(err)
 	}
 
-	t := stats.NewTable("cores", "bw GB/s", "spm MiB", "base ms", "igo ms", "reduction%", "ridge MACs/B")
+	// The full cores x bw x spm grid is flattened and fanned out through
+	// the runner; a bad configuration cancels outstanding work and the
+	// first (lowest-index) error is reported. Rows come back in grid order
+	// regardless of worker count.
+	type point struct{ nc, bw, spm float64 }
+	var grid []point
 	for _, nc := range cores {
 		for _, bw := range bws {
 			for _, spm := range spms {
-				cfg := config.LargeNPU().WithCores(int(nc)).WithBandwidth(bw * 1e9)
-				cfg.SPMBytes = int64(spm * float64(1<<20))
-				cfg.Name = fmt.Sprintf("sweep-%gc-%gGB-%gMiB", nc, bw, spm)
-				if err := cfg.Validate(); err != nil {
-					fatal(err)
-				}
-				base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
-				igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
-				t.AddRowF(
-					"%.0f", nc,
-					"%.1f", bw,
-					"%.0f", spm,
-					"%.2f", base.Seconds(cfg)*1e3,
-					"%.2f", igo.Seconds(cfg)*1e3,
-					"%.1f", 100*core.Improvement(base, igo),
-					"%.0f", analytic.Ridge(cfg),
-				)
+				grid = append(grid, point{nc, bw, spm})
 			}
 		}
+	}
+	type result struct {
+		p         point
+		seconds   [2]float64
+		ridge     float64
+		reduction float64
+	}
+	results, err := runner.MapErr(context.Background(), grid, func(_ context.Context, p point) (result, error) {
+		cfg := config.LargeNPU().WithCores(int(p.nc)).WithBandwidth(p.bw * 1e9)
+		cfg.SPMBytes = int64(p.spm * float64(1<<20))
+		cfg.Name = fmt.Sprintf("sweep-%gc-%gGB-%gMiB", p.nc, p.bw, p.spm)
+		if err := cfg.Validate(); err != nil {
+			return result{}, err
+		}
+		base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
+		igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
+		return result{
+			p:         p,
+			seconds:   [2]float64{base.Seconds(cfg), igo.Seconds(cfg)},
+			ridge:     analytic.Ridge(cfg),
+			reduction: core.Improvement(base, igo),
+		}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.NewTable("cores", "bw GB/s", "spm MiB", "base ms", "igo ms", "reduction%", "ridge MACs/B")
+	for _, r := range results {
+		t.AddRowF(
+			"%.0f", r.p.nc,
+			"%.1f", r.p.bw,
+			"%.0f", r.p.spm,
+			"%.2f", r.seconds[0]*1e3,
+			"%.2f", r.seconds[1]*1e3,
+			"%.1f", 100*r.reduction,
+			"%.0f", r.ridge,
+		)
 	}
 
 	fmt.Printf("design-space sweep: %s (%s)\n\n", model.Name, model.Abbr)

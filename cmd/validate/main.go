@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/tensor"
 	"igosim/internal/workload"
@@ -38,8 +41,10 @@ func main() {
 		modelName = flag.String("model", "", "validate a single model (default: whole zoo)")
 		suiteName = flag.String("suite", "server", "zoo suite: edge or server")
 		verbose   = flag.Bool("v", false, "per-layer progress")
+		jobs      = flag.Int("j", 0, "parallel validation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	runner.SetParallelism(*jobs)
 
 	models, err := workload.AllModels(*suiteName)
 	if err != nil {
@@ -53,9 +58,16 @@ func main() {
 		models = []workload.Model{m}
 	}
 
+	// Models fan out through the runner; each worker buffers its own
+	// progress lines so the output is printed in zoo order afterwards,
+	// identical at every -j. The first failing model (in zoo order) wins.
 	cfg := config.SmallNPU()
-	var layers, checks int
-	for _, m := range models {
+	type report struct {
+		layers, checks int
+		lines          []string
+	}
+	reports, err := runner.MapErr(context.Background(), models, func(_ context.Context, m workload.Model) (report, error) {
+		var rep report
 		for i, l := range m.Layers(2) {
 			if l.SkipDX {
 				continue
@@ -76,12 +88,12 @@ func main() {
 				core.InterleaveDWMajor(p),
 			} {
 				if err := schedule.VerifyBackward(p, s.Ops, false); err != nil {
-					fatal(fmt.Errorf("%s layer %d (%s) %s: structure: %w", m.Abbr, i, l.Name, s.Name, err))
+					return rep, fmt.Errorf("%s layer %d (%s) %s: structure: %w", m.Abbr, i, l.Name, s.Name, err)
 				}
 				if err := core.CheckEquivalence(d, tl, s.Ops, 1e-6); err != nil {
-					fatal(fmt.Errorf("%s layer %d (%s) %s: %w", m.Abbr, i, l.Name, s.Name, err))
+					return rep, fmt.Errorf("%s layer %d (%s) %s: %w", m.Abbr, i, l.Name, s.Name, err)
 				}
-				checks++
+				rep.checks++
 			}
 
 			// Partitioned schedules: structural check per partition (each
@@ -94,21 +106,35 @@ func main() {
 				for _, sub := range plan.Parts {
 					s := core.InterleaveDXMajor(sub)
 					if err := schedule.VerifyBackward(sub, s.Ops, false); err != nil {
-						fatal(fmt.Errorf("%s layer %d (%s) %v: structure: %w", m.Abbr, i, l.Name, scheme, err))
+						return rep, fmt.Errorf("%s layer %d (%s) %v: structure: %w", m.Abbr, i, l.Name, scheme, err)
 					}
 					ops = append(ops, s.Ops...)
 				}
 				if err := core.CheckEquivalence(d, tl, ops, 1e-6); err != nil {
-					fatal(fmt.Errorf("%s layer %d (%s) %v: %w", m.Abbr, i, l.Name, scheme, err))
+					return rep, fmt.Errorf("%s layer %d (%s) %v: %w", m.Abbr, i, l.Name, scheme, err)
 				}
-				checks++
+				rep.checks++
 			}
-			layers++
+			rep.layers++
 			if *verbose {
-				fmt.Printf("  %s %-24s %-18v ok\n", m.Abbr, l.Name, d)
+				rep.lines = append(rep.lines, fmt.Sprintf("  %s %-24s %-18v ok", m.Abbr, l.Name, d))
 			}
 		}
+		return rep, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var layers, checks int
+	for i, m := range models {
+		rep := reports[i]
+		if len(rep.lines) > 0 {
+			fmt.Println(strings.Join(rep.lines, "\n"))
+		}
 		fmt.Printf("%-10s validated\n", m.Abbr)
+		layers += rep.layers
+		checks += rep.checks
 	}
 	fmt.Printf("\nOK: %d layers, %d schedule executions, gradients bit-match the reference\n", layers, checks)
 }

@@ -28,7 +28,9 @@ import (
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/experiments"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
+	"igosim/internal/stats"
 	"igosim/internal/tensor"
 	"igosim/internal/workload"
 )
@@ -151,3 +153,26 @@ func Experiment(id string) (Report, error) { return experiments.ByID(id) }
 
 // Experiments lists the available experiment ids in paper order.
 func Experiments() []string { return experiments.IDs() }
+
+// Parallelism sets the number of worker goroutines used by Train,
+// TrainBackwardOnly, Experiment and the rest of the simulation surface,
+// returning the previous setting. n <= 0 restores the default
+// (GOMAXPROCS). Results are bit-identical at every setting: the engine
+// fans work out by index and reassembles it in order.
+func Parallelism(n int) int { return runner.SetParallelism(n) }
+
+// CacheStats reports the hit/miss counters of the simulator's memo caches
+// (layer simulations and order-tuning results), one line per cache. Useful
+// when judging whether a sweep benefits from shape sharing.
+func CacheStats() []string {
+	snaps := stats.CacheReport()
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// ResetCaches clears the simulator's memo caches and their counters —
+// mainly for benchmarking cold-start behaviour.
+func ResetCaches() { core.ResetCaches() }

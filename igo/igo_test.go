@@ -1,6 +1,7 @@
 package igo_test
 
 import (
+	"strings"
 	"testing"
 
 	"igosim/igo"
@@ -102,5 +103,41 @@ func TestPublicExperimentRegistry(t *testing.T) {
 	}
 	if _, err := igo.Experiment("bogus"); err == nil {
 		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestPublicParallelismAndCaches(t *testing.T) {
+	// Parallelism returns the previous width and round-trips.
+	prev := igo.Parallelism(2)
+	defer igo.Parallelism(prev)
+	if got := igo.Parallelism(2); got != 2 {
+		t.Fatalf("Parallelism(2) twice returned %d, want 2", got)
+	}
+
+	// A training run at width 2 must equal the width-1 run bit for bit,
+	// warm or cold.
+	cfg := smallFastConfig()
+	model, err := igo.ModelByName(igo.EdgeSuite(), "ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	igo.ResetCaches()
+	par := igo.Train(cfg, model, igo.Rearrange)
+	igo.Parallelism(1)
+	seq := igo.Train(cfg, model, igo.Rearrange)
+	if par.TotalCycles() != seq.TotalCycles() {
+		t.Fatalf("cycles differ across widths: %d vs %d", par.TotalCycles(), seq.TotalCycles())
+	}
+
+	// The run above populated the layer memo; CacheStats must mention it
+	// with a nonzero lookup count.
+	found := false
+	for _, line := range igo.CacheStats() {
+		if strings.Contains(line, "core/layer-sim") && !strings.Contains(line, "0 lookups") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CacheStats missing live layer-sim counters: %q", igo.CacheStats())
 	}
 }

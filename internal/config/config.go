@@ -97,6 +97,37 @@ func (c NPU) Validate() error {
 	return nil
 }
 
+// Fingerprint identifies the simulation-relevant hardware parameters of a
+// configuration: two NPUs with equal fingerprints produce identical cycle
+// and traffic results for identical tile streams. Name is presentation
+// only and excluded; Batch only shapes workload lowering (it is already
+// captured by the resulting GEMM dimensions) and is excluded too. The
+// fingerprint keys the simulator's tuning and memoization caches.
+type Fingerprint struct {
+	ArrayRows, ArrayCols int
+	Cores                int
+	SPMBytes             int64
+	DRAMBandwidth        float64
+	DRAMLatency          int64
+	FrequencyHz          float64
+	ElemBytes            int
+	Dataflow             Dataflow
+}
+
+// Fingerprint returns the configuration's simulation fingerprint.
+func (c NPU) Fingerprint() Fingerprint {
+	return Fingerprint{
+		ArrayRows: c.ArrayRows, ArrayCols: c.ArrayCols,
+		Cores:         c.Cores,
+		SPMBytes:      c.SPMBytes,
+		DRAMBandwidth: c.DRAMBandwidth,
+		DRAMLatency:   c.DRAMLatency,
+		FrequencyHz:   c.FrequencyHz,
+		ElemBytes:     c.ElemBytes,
+		Dataflow:      c.Dataflow,
+	}
+}
+
 // TotalSPMBytes returns the shared scratchpad capacity across all cores.
 func (c NPU) TotalSPMBytes() int64 { return int64(c.Cores) * c.SPMBytes }
 

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"sync"
-
 	"igosim/internal/config"
+	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
 	"igosim/internal/tensor"
@@ -38,21 +37,20 @@ const (
 	numDWCandidates
 )
 
+// ordersKey keys the per-shape tuning caches: the hardware fingerprint
+// (with Cores pinned to 1, since tuning always simulates a single core)
+// plus the shape facts the candidate schedules depend on. Tensor-instance
+// ids (TileParams.Layer/Part) are deliberately absent — renaming them
+// cannot change which candidate wins.
 type ordersKey struct {
-	d          tensor.Dims
-	t          schedule.Tiling
-	spm        int64
-	rows, cols int
-	bw         float64
-	elem       int
-	dataflow   config.Dataflow
-	xfactor    float64
+	fp      config.Fingerprint
+	d       tensor.Dims
+	t       schedule.Tiling
+	elem    int
+	xfactor float64
 }
 
-var (
-	ordersMu    sync.Mutex
-	ordersCache = make(map[ordersKey]ordersVal)
-)
+var ordersCache = runner.NewCache[ordersKey, ordersVal]("core/baseline-tune")
 
 type ordersVal struct {
 	dx dxCandidate
@@ -63,11 +61,10 @@ type ordersVal struct {
 }
 
 func keyFor(cfg config.NPU, p schedule.TileParams) ordersKey {
+	cfg.Cores = 1
 	return ordersKey{
-		d: p.Dims, t: p.Tiling, spm: cfg.SPMBytes,
-		rows: cfg.ArrayRows, cols: cfg.ArrayCols,
-		bw: cfg.DRAMBandwidth, elem: cfg.ElemBytes, dataflow: cfg.Dataflow,
-		xfactor: p.XFactor,
+		fp: cfg.Fingerprint(), d: p.Dims, t: p.Tiling,
+		elem: p.ElemBytes, xfactor: p.XFactor,
 	}
 }
 
@@ -126,45 +123,35 @@ func baselineDWOps(cfg config.NPU, p schedule.TileParams, c dwCandidate) []sched
 // without study-specific engine options so every study compares against the
 // same baseline schedule.
 func baselineChoices(cfg config.NPU, p schedule.TileParams) ordersVal {
-	key := keyFor(cfg, p)
-	ordersMu.Lock()
-	if v, ok := ordersCache[key]; ok {
-		ordersMu.Unlock()
+	return ordersCache.GetOrCompute(keyFor(cfg, p), func() ordersVal {
+		single := cfg
+		single.Cores = 1
+
+		// The baseline explores the two reduction-inner loop orders per GEMM:
+		// conventional accelerators (TPUv3 + XLA) accumulate each output tile's
+		// reduction inside the PE array, so cross-tile partial-stationary
+		// orders (which park partial sums in the SPM) are not part of the
+		// baseline space — those appear only through the paper's
+		// transformations.
+		var v ordersVal
+		best := int64(-1)
+		for _, c := range []dxCandidate{dxMK, dxKM} {
+			r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: baselineDXOps(single, p, c)})
+			if best < 0 || r.Cycles < best {
+				best = r.Cycles
+				v.dx = c
+			}
+		}
+		best = -1
+		for _, c := range []dwCandidate{dwKN, dwNK} {
+			r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: baselineDWOps(single, p, c)})
+			if best < 0 || r.Cycles < best {
+				best = r.Cycles
+				v.dw = c
+			}
+		}
 		return v
-	}
-	ordersMu.Unlock()
-
-	single := cfg
-	single.Cores = 1
-
-	// The baseline explores the two reduction-inner loop orders per GEMM:
-	// conventional accelerators (TPUv3 + XLA) accumulate each output tile's
-	// reduction inside the PE array, so cross-tile partial-stationary
-	// orders (which park partial sums in the SPM) are not part of the
-	// baseline space — those appear only through the paper's
-	// transformations.
-	var v ordersVal
-	best := int64(-1)
-	for _, c := range []dxCandidate{dxMK, dxKM} {
-		r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: baselineDXOps(single, p, c)})
-		if best < 0 || r.Cycles < best {
-			best = r.Cycles
-			v.dx = c
-		}
-	}
-	best = -1
-	for _, c := range []dwCandidate{dwKN, dwNK} {
-		r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: baselineDWOps(single, p, c)})
-		if best < 0 || r.Cycles < best {
-			best = r.Cycles
-			v.dw = c
-		}
-	}
-
-	ordersMu.Lock()
-	ordersCache[key] = v
-	ordersMu.Unlock()
-	return v
+	})
 }
 
 // TunedBaselineKernels emits the two schedule-tuned gradient kernels of the
@@ -186,11 +173,8 @@ func TunedDWOnly(cfg config.NPU, p schedule.TileParams) schedule.Schedule {
 	return schedule.Schedule{Name: "dW-only", Ops: baselineDWOps(cfg, p, v.dw)}
 }
 
-// interleaveCache holds the jointly tuned order pair for the fused stream.
-var (
-	ilvMu    sync.Mutex
-	ilvCache = make(map[ordersKey]ordersVal)
-)
+// ilvCache holds the jointly tuned order pair for the fused stream.
+var ilvCache = runner.NewCache[ordersKey, ordersVal]("core/interleave-tune")
 
 // interleaveBlocks are the fusion granularities the joint tuner explores:
 // how many tile ops of each stream run per alternation turn. Finer blocks
@@ -205,41 +189,31 @@ var interleaveBlocks = []int{1, 16, 128}
 // combination and keeps the fastest. Each stream still walks dY in a
 // traditional order (Figure 10a); only the combination is chosen jointly.
 func interleaveChoices(cfg config.NPU, p schedule.TileParams) ordersVal {
-	key := keyFor(cfg, p)
-	ilvMu.Lock()
-	if v, ok := ilvCache[key]; ok {
-		ilvMu.Unlock()
-		return v
-	}
-	ilvMu.Unlock()
-
-	single := cfg
-	single.Cores = 1
-	var v ordersVal
-	best := int64(-1)
-	for _, dc := range []dxCandidate{dxMK, dxKM} {
-		dx := baselineDXOps(single, p, dc)
-		for _, wc := range []dwCandidate{dwKN, dwNK} {
-			dw := baselineDWOps(single, p, wc)
-			for _, blk := range interleaveBlocks {
-				// A block at least as long as a stream degenerates to the
-				// sequential baseline; the fusion must actually alternate.
-				if blk > 1 && blk >= len(dx) {
-					continue
-				}
-				r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: mergeStreams(dx, dw, blk)})
-				if best < 0 || r.Cycles < best {
-					best = r.Cycles
-					v = ordersVal{dx: dc, dw: wc, block: blk}
+	return ilvCache.GetOrCompute(keyFor(cfg, p), func() ordersVal {
+		single := cfg
+		single.Cores = 1
+		var v ordersVal
+		best := int64(-1)
+		for _, dc := range []dxCandidate{dxMK, dxKM} {
+			dx := baselineDXOps(single, p, dc)
+			for _, wc := range []dwCandidate{dwKN, dwNK} {
+				dw := baselineDWOps(single, p, wc)
+				for _, blk := range interleaveBlocks {
+					// A block at least as long as a stream degenerates to the
+					// sequential baseline; the fusion must actually alternate.
+					if blk > 1 && blk >= len(dx) {
+						continue
+					}
+					r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: mergeStreams(dx, dw, blk)})
+					if best < 0 || r.Cycles < best {
+						best = r.Cycles
+						v = ordersVal{dx: dc, dw: wc, block: blk}
+					}
 				}
 			}
 		}
-	}
-
-	ilvMu.Lock()
-	ilvCache[key] = v
-	ilvMu.Unlock()
-	return v
+		return v
+	})
 }
 
 // mergeStreams alternates the two gradient streams at tile-op granularity,
@@ -291,11 +265,8 @@ func FusedDWMajor(cfg config.NPU, p schedule.TileParams) schedule.Schedule {
 	return InterleaveDWMajorChunked(p, chunk)
 }
 
-// rearrangeCache holds the simulated-best access order per layer.
-var (
-	reMu    sync.Mutex
-	reCache = make(map[ordersKey]Order)
-)
+// reCache holds the simulated-best access order per layer.
+var reCache = runner.NewCache[ordersKey, Order]("core/order-tune")
 
 // BestOrderSimulated picks the access order of the rearranged schedule by
 // simulating the three candidates of Figure 10 and keeping the fastest —
@@ -303,27 +274,17 @@ var (
 // selectors (SelectOrder*, SelectOrderFor) predict this choice from tensor
 // dimensions alone; the alg1 experiment quantifies their gap.
 func BestOrderSimulated(cfg config.NPU, p schedule.TileParams) Order {
-	key := keyFor(cfg, p)
-	reMu.Lock()
-	if o, ok := reCache[key]; ok {
-		reMu.Unlock()
-		return o
-	}
-	reMu.Unlock()
-
-	single := cfg
-	single.Cores = 1
-	best := OnlyInterleave
-	bestCycles := sim.RunSchedules(single, sim.Options{}, TunedInterleave(single, p)).Cycles
-	if r := sim.RunSchedules(single, sim.Options{}, FusedDXMajor(single, p)); r.Cycles < bestCycles {
-		best, bestCycles = DXMajor, r.Cycles
-	}
-	if r := sim.RunSchedules(single, sim.Options{}, FusedDWMajor(single, p)); r.Cycles < bestCycles {
-		best = DWMajor
-	}
-
-	reMu.Lock()
-	reCache[key] = best
-	reMu.Unlock()
-	return best
+	return reCache.GetOrCompute(keyFor(cfg, p), func() Order {
+		single := cfg
+		single.Cores = 1
+		best := OnlyInterleave
+		bestCycles := sim.RunSchedules(single, sim.Options{}, TunedInterleave(single, p)).Cycles
+		if r := sim.RunSchedules(single, sim.Options{}, FusedDXMajor(single, p)); r.Cycles < bestCycles {
+			best, bestCycles = DXMajor, r.Cycles
+		}
+		if r := sim.RunSchedules(single, sim.Options{}, FusedDWMajor(single, p)); r.Cycles < bestCycles {
+			best = DWMajor
+		}
+		return best
+	})
 }

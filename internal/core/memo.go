@@ -1,0 +1,72 @@
+package core
+
+import (
+	"igosim/internal/config"
+	"igosim/internal/runner"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/stats"
+)
+
+// Layer-level memoization.
+//
+// Every per-layer simulation is a pure function of (NPU fingerprint, tile
+// parameters, policy, engine options): the engine starts cold, runs one
+// layer, and its cycle/traffic outcome is invariant under renaming of
+// tensor-instance ids. Models repeat layer shapes heavily (ResNet blocks,
+// BERT encoder layers), and the experiment grids re-simulate the same
+// (config, layer, policy) points across figures, so memoizing at the layer
+// level removes most of the simulation work — and the saving compounds
+// with the runner's parallelism.
+//
+// The key deliberately zeroes TileParams.Layer and TileParams.Part: those
+// fields only bias tensor-instance ids, and a bijective renaming of tile
+// keys cannot change LRU residency behaviour, spills, or timing. Two
+// layers of different networks with identical GEMM shape, tiling and
+// XFactor therefore share one simulation.
+
+// memoKind discriminates the simulation entry points sharing the layer
+// memo (they emit different schedules for the same tile parameters).
+type memoKind uint8
+
+const (
+	memoForward memoKind = iota
+	memoBackward
+	memoBackwardOrder   // RunBackwardOrder: Interleaved(p, o)
+	memoSelectorBwd     // order-selector study: RearrangedWithOrder(cfg, p, o)
+	memoPartitionScheme // RunPartitionedScheme: one scheme, fixed parts
+)
+
+// layerKey identifies one layer simulation up to tensor renaming.
+type layerKey struct {
+	fp     config.Fingerprint
+	p      schedule.TileParams
+	kind   memoKind
+	pol    Policy
+	order  Order
+	scheme Scheme
+	parts  int
+	skipDX bool
+	opts   sim.Options
+}
+
+var layerMemo = runner.NewCache[layerKey, LayerOutcome]("core/layer-sim")
+
+func layerKeyFor(cfg config.NPU, p schedule.TileParams, kind memoKind, opts sim.Options) layerKey {
+	p.Layer, p.Part = 0, 0
+	return layerKey{fp: cfg.Fingerprint(), p: p, kind: kind, opts: opts}
+}
+
+// LayerMemoStats returns the layer memo cache's hit/miss snapshot.
+func LayerMemoStats() stats.CacheSnapshot { return layerMemo.Stats() }
+
+// ResetCaches drops the layer memo and every schedule-tuning cache,
+// returning the simulator to a cold state. Benchmarks and determinism
+// tests use it to measure uncached behaviour; results are unaffected
+// (cached and recomputed values are identical).
+func ResetCaches() {
+	layerMemo.Reset()
+	ordersCache.Reset()
+	ilvCache.Reset()
+	reCache.Reset()
+}

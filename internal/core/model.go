@@ -5,6 +5,7 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/dram"
+	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
 	"igosim/internal/workload"
@@ -58,23 +59,33 @@ func PlanModel(cfg config.NPU, m workload.Model) []LayerPlan {
 	return plans
 }
 
+// layerPair is one layer's forward/backward outcome, produced by the
+// runner fan-out and folded back into a ModelRun in network order.
+type layerPair struct {
+	fwd, bwd LayerOutcome
+}
+
 // RunTraining simulates one training step of the model: the forward pass
 // (always baseline — the techniques only transform the backward pass) and
 // the backward pass under the given policy. Multi-core configurations are
-// handled transparently.
+// handled transparently. Layers are independent simulations, so they fan
+// out over the runner's worker pool; outcomes are folded back in network
+// order, keeping results identical to the sequential walk.
 func RunTraining(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy) ModelRun {
 	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: pol}
-	for _, lp := range PlanModel(cfg, m) {
+	outs := runner.Map(PlanModel(cfg, m), func(lp LayerPlan) layerPair {
 		fwd := RunForwardMulti(cfg, lp.Params)
 		fwd.Name = lp.Layer.Name
-		run.Fwd = append(run.Fwd, fwd)
-		run.FwdCycles += fwd.Cycles
-
 		bwd := RunBackwardMulti(cfg, opts, lp.Params, pol, lp.Layer.SkipDX)
 		bwd.Name = lp.Layer.Name
-		run.Bwd = append(run.Bwd, bwd)
-		run.BwdCycles += bwd.Cycles
-		run.BwdTraffic.Merge(bwd.Traffic)
+		return layerPair{fwd: fwd, bwd: bwd}
+	})
+	for _, o := range outs {
+		run.Fwd = append(run.Fwd, o.fwd)
+		run.FwdCycles += o.fwd.Cycles
+		run.Bwd = append(run.Bwd, o.bwd)
+		run.BwdCycles += o.bwd.Cycles
+		run.BwdTraffic.Merge(o.bwd.Traffic)
 	}
 	return run
 }
@@ -84,9 +95,12 @@ func RunTraining(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy)
 // backward pass).
 func RunBackwardOnly(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy) ModelRun {
 	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: pol}
-	for _, lp := range PlanModel(cfg, m) {
+	outs := runner.Map(PlanModel(cfg, m), func(lp LayerPlan) LayerOutcome {
 		bwd := RunBackwardMulti(cfg, opts, lp.Params, pol, lp.Layer.SkipDX)
 		bwd.Name = lp.Layer.Name
+		return bwd
+	})
+	for _, bwd := range outs {
 		run.Bwd = append(run.Bwd, bwd)
 		run.BwdCycles += bwd.Cycles
 		run.BwdTraffic.Merge(bwd.Traffic)

@@ -212,14 +212,19 @@ func runPartitionedSingle(cfg config.NPU, opts sim.Options, p schedule.TileParam
 
 // RunBackwardOrder simulates one layer's backward pass with an explicitly
 // chosen access order (used by the Section 4.3 ideal-vs-Algorithm-1 study).
+// Results are memoized per layer shape.
 func RunBackwardOrder(cfg config.NPU, opts sim.Options, p schedule.TileParams, o Order) LayerOutcome {
-	out := outcomeFromResult(sim.RunSchedules(cfg, opts, Interleaved(p, o)))
-	out.Dims = p.Dims
-	out.Policy = PolRearrange
-	out.Order = o
-	out.Scheme = NoPartition
-	out.Parts = 1
-	return out
+	key := layerKeyFor(cfg, p, memoBackwardOrder, opts)
+	key.order = o
+	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+		out := outcomeFromResult(sim.RunSchedules(cfg, opts, Interleaved(p, o)))
+		out.Dims = p.Dims
+		out.Policy = PolRearrange
+		out.Order = o
+		out.Scheme = NoPartition
+		out.Parts = 1
+		return out
+	})
 }
 
 // RunForward simulates one layer's forward pass (always the baseline
@@ -232,7 +237,10 @@ func RunForward(cfg config.NPU, p schedule.TileParams) LayerOutcome {
 }
 
 // RunBackwardMulti simulates one layer's backward pass on a multi-core NPU
-// with shared SPM.
+// with shared SPM. It is the per-layer entry point of every training-step
+// loop, and its outcomes are memoized per layer shape: repeated blocks
+// (ResNet stages, BERT encoder layers) and repeated grid points across
+// experiments simulate once.
 //
 // The baseline policy uses conventional batch-basis data parallelism
 // (weight-sharing partitioning) with sequential per-core backward passes.
@@ -240,6 +248,14 @@ func RunForward(cfg config.NPU, p schedule.TileParams) LayerOutcome {
 // each core's stream. PolPartition additionally searches the three schemes
 // of Figure 11 for the best inter-core distribution.
 func RunBackwardMulti(cfg config.NPU, opts sim.Options, p schedule.TileParams, pol Policy, skipDX bool) LayerOutcome {
+	key := layerKeyFor(cfg, p, memoBackward, opts)
+	key.pol, key.skipDX = pol, skipDX
+	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+		return runBackwardMulti(cfg, opts, p, pol, skipDX)
+	})
+}
+
+func runBackwardMulti(cfg config.NPU, opts sim.Options, p schedule.TileParams, pol Policy, skipDX bool) LayerOutcome {
 	if cfg.Cores == 1 {
 		return RunBackward(cfg, opts, p, pol, skipDX)
 	}
@@ -337,7 +353,15 @@ func finishMulti(cfg config.NPU, mr sim.MultiResult, plan Plan) LayerOutcome {
 
 // RunForwardMulti simulates the forward pass on a multi-core NPU using
 // batch-basis parallelism (rows of Y are independent, so no reduction).
+// Outcomes are memoized per layer shape, like RunBackwardMulti's.
 func RunForwardMulti(cfg config.NPU, p schedule.TileParams) LayerOutcome {
+	key := layerKeyFor(cfg, p, memoForward, sim.Options{})
+	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+		return runForwardMulti(cfg, p)
+	})
+}
+
+func runForwardMulti(cfg config.NPU, p schedule.TileParams) LayerOutcome {
 	if cfg.Cores == 1 {
 		return RunForward(cfg, p)
 	}

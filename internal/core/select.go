@@ -57,8 +57,16 @@ func BestSchemeEmpirical(cfg config.NPU, opts sim.Options, p schedule.TileParams
 // RunPartitionedScheme simulates one specific scheme with `parts`
 // partitions: concurrently across cores on a multi-core configuration,
 // sequentially on a single core. Plans that degenerate to one partition
-// are simulated whole.
+// are simulated whole. Results are memoized per layer shape.
 func RunPartitionedScheme(cfg config.NPU, opts sim.Options, p schedule.TileParams, scheme Scheme, parts int) LayerOutcome {
+	key := layerKeyFor(cfg, p, memoPartitionScheme, opts)
+	key.scheme, key.parts = scheme, parts
+	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+		return runPartitionedScheme(cfg, opts, p, scheme, parts)
+	})
+}
+
+func runPartitionedScheme(cfg config.NPU, opts sim.Options, p schedule.TileParams, scheme Scheme, parts int) LayerOutcome {
 	plan := PartitionLayer(p, scheme, parts)
 	var out LayerOutcome
 	if cfg.Cores > 1 {

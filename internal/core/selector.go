@@ -2,6 +2,7 @@ package core
 
 import (
 	"igosim/internal/config"
+	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
 	"igosim/internal/workload"
@@ -14,32 +15,57 @@ type OrderSelector func(cfg config.NPU, p schedule.TileParams) Order
 
 // RunTrainingSelector simulates one single-core training step with the
 // backward pass rearranged per the given order selector (used by the
-// Section 4.3 Algorithm-1-vs-ideal study).
+// Section 4.3 Algorithm-1-vs-ideal study). Layers fan out over the runner
+// pool and each (shape, chosen order) simulation is memoized, so the four
+// selector variants of the study mostly re-use each other's results.
 func RunTrainingSelector(cfg config.NPU, opts sim.Options, m workload.Model, sel OrderSelector) ModelRun {
 	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: PolRearrange}
-	for _, lp := range PlanModel(cfg, m) {
-		fwd := RunForward(cfg, lp.Params)
+	outs := runner.Map(PlanModel(cfg, m), func(lp LayerPlan) layerPair {
+		fwd := RunForwardMulti(cfg, lp.Params)
 		fwd.Name = lp.Layer.Name
-		run.Fwd = append(run.Fwd, fwd)
-		run.FwdCycles += fwd.Cycles
 
 		var bwd LayerOutcome
 		if lp.Layer.SkipDX {
-			bwd = outcomeFromResult(sim.RunSchedules(cfg, opts, TunedDWOnly(cfg, lp.Params)))
+			bwd = runSelectorDWOnly(cfg, opts, lp.Params)
 		} else {
-			sched, o := RearrangedWithOrder(cfg, lp.Params, sel(cfg, lp.Params))
-			bwd = outcomeFromResult(sim.RunSchedules(cfg, opts, sched))
-			bwd.Order = o
+			bwd = runSelectorBackward(cfg, opts, lp.Params, sel(cfg, lp.Params))
 		}
 		bwd.Name = lp.Layer.Name
 		bwd.Dims = lp.Params.Dims
 		bwd.Policy = PolRearrange
 		bwd.Parts = 1
-		run.Bwd = append(run.Bwd, bwd)
-		run.BwdCycles += bwd.Cycles
-		run.BwdTraffic.Merge(bwd.Traffic)
+		return layerPair{fwd: fwd, bwd: bwd}
+	})
+	for _, o := range outs {
+		run.Fwd = append(run.Fwd, o.fwd)
+		run.FwdCycles += o.fwd.Cycles
+		run.Bwd = append(run.Bwd, o.bwd)
+		run.BwdCycles += o.bwd.Cycles
+		run.BwdTraffic.Merge(o.bwd.Traffic)
 	}
 	return run
+}
+
+// runSelectorBackward simulates the rearranged backward pass under an
+// explicit order choice, memoized per (shape, order).
+func runSelectorBackward(cfg config.NPU, opts sim.Options, p schedule.TileParams, o Order) LayerOutcome {
+	key := layerKeyFor(cfg, p, memoSelectorBwd, opts)
+	key.order = o
+	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+		sched, chosen := RearrangedWithOrder(cfg, p, o)
+		out := outcomeFromResult(sim.RunSchedules(cfg, opts, sched))
+		out.Order = chosen
+		return out
+	})
+}
+
+// runSelectorDWOnly simulates the dW-only first layer, memoized per shape.
+func runSelectorDWOnly(cfg config.NPU, opts sim.Options, p schedule.TileParams) LayerOutcome {
+	key := layerKeyFor(cfg, p, memoSelectorBwd, opts)
+	key.skipDX = true
+	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+		return outcomeFromResult(sim.RunSchedules(cfg, opts, TunedDWOnly(cfg, p)))
+	})
 }
 
 // ConcatKernels joins kernels into one schedule (no flush between them) —

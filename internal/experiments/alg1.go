@@ -3,6 +3,7 @@ package experiments
 import (
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
@@ -40,13 +41,23 @@ func Alg1() Report {
 	for _, cfg := range []config.NPU{config.SmallNPU(), config.LargeNPU()} {
 		models := suiteFor(cfg)
 		base := trainingCycles(cfg, models, core.PolBaseline)
-		for _, s := range selectors {
-			var imps []float64
-			for i, m := range models {
-				run := core.RunTrainingSelector(cfg, sim.Options{}, m, s.sel)
-				imps = append(imps, core.Improvement(base[i], run))
+
+		// Flatten the selector x model grid into one parallel map; rows are
+		// then folded back per selector in order.
+		type cell struct{ sel, model int }
+		var cells []cell
+		for si := range selectors {
+			for mi := range models {
+				cells = append(cells, cell{si, mi})
 			}
-			t.AddRowF("%s", cfg.Name, "%s", s.name, "%.1f", 100*stats.Mean(imps))
+		}
+		imps := runner.Map(cells, func(c cell) float64 {
+			run := core.RunTrainingSelector(cfg, sim.Options{}, models[c.model], selectors[c.sel].sel)
+			return core.Improvement(base[c.model], run)
+		})
+		for si, s := range selectors {
+			row := imps[si*len(models) : (si+1)*len(models)]
+			t.AddRowF("%s", cfg.Name, "%s", s.name, "%.1f", 100*stats.Mean(row))
 		}
 	}
 	summaries = append(summaries,

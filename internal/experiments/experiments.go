@@ -10,6 +10,7 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
 	"igosim/internal/workload"
@@ -51,13 +52,34 @@ func suiteFor(cfg config.NPU) []workload.Model {
 }
 
 // trainingCycles runs one training step per model under pol and returns
-// total (fwd+bwd) cycles keyed by model abbreviation, in suite order.
+// total (fwd+bwd) cycles keyed by model abbreviation, in suite order. The
+// models fan out over the runner pool; results land in suite order.
 func trainingCycles(cfg config.NPU, models []workload.Model, pol core.Policy) []core.ModelRun {
-	runs := make([]core.ModelRun, len(models))
-	for i, m := range models {
-		runs[i] = core.RunTraining(cfg, sim.Options{}, m, pol)
+	return runner.Map(models, func(m workload.Model) core.ModelRun {
+		return core.RunTraining(cfg, sim.Options{}, m, pol)
+	})
+}
+
+// policyGrid runs the whole models x policies grid through the runner in
+// one fan-out and returns runs[policyIndex][modelIndex]. Harnesses that
+// need several policy rows use it instead of sequential trainingCycles
+// calls so the full grid parallelizes at once.
+func policyGrid(cfg config.NPU, models []workload.Model, pols []core.Policy) [][]core.ModelRun {
+	type cell struct{ pi, mi int }
+	cells := make([]cell, 0, len(pols)*len(models))
+	for pi := range pols {
+		for mi := range models {
+			cells = append(cells, cell{pi, mi})
+		}
 	}
-	return runs
+	flat := runner.Map(cells, func(c cell) core.ModelRun {
+		return core.RunTraining(cfg, sim.Options{}, models[c.mi], pols[c.pi])
+	})
+	out := make([][]core.ModelRun, len(pols))
+	for pi := range pols {
+		out[pi] = flat[pi*len(models) : (pi+1)*len(models)]
+	}
+	return out
 }
 
 // improvementSummary renders the average execution-time reduction of runs
@@ -71,21 +93,25 @@ func improvementSummary(label string, base, runs []core.ModelRun) (string, float
 	return fmt.Sprintf("%s: average execution-time reduction %s", label, stats.Pct(avg)), avg
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment and returns the reports in paper order. The
+// harnesses fan out over the runner pool (each one also parallelizes its
+// own grid internally); the report order — and every byte of every report —
+// is independent of the pool width.
 func All() []Report {
-	return []Report{
-		Fig03(),
-		Fig05(),
-		Fig06(),
-		Fig12(),
-		Fig13(),
-		Alg1(),
-		Fig14(),
-		Fig15(),
-		Fig16(),
-		Fig17(),
-		KNNSelection(DefaultKNNTrials),
+	harnesses := []func() Report{
+		Fig03,
+		Fig05,
+		Fig06,
+		Fig12,
+		Fig13,
+		Alg1,
+		Fig14,
+		Fig15,
+		Fig16,
+		Fig17,
+		func() Report { return KNNSelection(DefaultKNNTrials) },
 	}
+	return runner.Map(harnesses, func(h func() Report) Report { return h() })
 }
 
 // ByID returns the named experiment report.

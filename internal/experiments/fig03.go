@@ -5,8 +5,10 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
+	"igosim/internal/workload"
 )
 
 // Figure 3 decomposes total training time into five phases: forward pass,
@@ -30,11 +32,15 @@ func Fig03() Report {
 	t := stats.NewTable("model", "fwd%", "bwd%", "memcopy%", "loss%", "update%")
 	var fwdShare, bwdShare []float64
 
-	for _, m := range models {
+	type phases struct {
+		fwd, bwd, memcopy, loss, update float64
+	}
+	rows := runner.Map(models, func(m workload.Model) phases {
 		// Simulated GEMM phases at the figure's batch size.
 		run := core.RunTraining(cfg.WithBatch(fig03Batch), sim.Options{}, m, core.PolBaseline)
-		fwdSec := float64(run.FwdCycles) / cfg.FrequencyHz
-		bwdSec := float64(run.BwdCycles) / cfg.FrequencyHz
+		var ph phases
+		ph.fwd = float64(run.FwdCycles) / cfg.FrequencyHz
+		ph.bwd = float64(run.BwdCycles) / cfg.FrequencyHz
 
 		// Roofline phases. Input copy: the first layer's activation bytes.
 		layers := m.Layers(fig03Batch)
@@ -42,28 +48,32 @@ func Fig03() Report {
 		if layers[0].XReuse > 0 {
 			inputBytes *= layers[0].XReuse
 		}
-		memcopySec := inputBytes / a100PCIeBandwidth
+		ph.memcopy = inputBytes / a100PCIeBandwidth
 
 		// Loss: elementwise over the final output.
 		last := layers[len(layers)-1].Dims
-		lossSec := float64(last.SizeY()) * 4 * 4 / a100HBMBandwidth
+		ph.loss = float64(last.SizeY()) * 4 * 4 / a100HBMBandwidth
 
 		// Update: read weights + gradients + optimizer state, write weights
 		// (SGD with momentum: ~5 tensor passes over the parameters).
 		params := float64(m.Params()) * 4
-		updateSec := 5 * params / a100HBMBandwidth
+		ph.update = 5 * params / a100HBMBandwidth
+		return ph
+	})
 
-		total := fwdSec + bwdSec + memcopySec + lossSec + updateSec
+	for i, m := range models {
+		ph := rows[i]
+		total := ph.fwd + ph.bwd + ph.memcopy + ph.loss + ph.update
 		t.AddRowF(
 			"%s", m.Abbr,
-			"%.1f", 100*fwdSec/total,
-			"%.1f", 100*bwdSec/total,
-			"%.1f", 100*memcopySec/total,
-			"%.1f", 100*lossSec/total,
-			"%.1f", 100*updateSec/total,
+			"%.1f", 100*ph.fwd/total,
+			"%.1f", 100*ph.bwd/total,
+			"%.1f", 100*ph.memcopy/total,
+			"%.1f", 100*ph.loss/total,
+			"%.1f", 100*ph.update/total,
 		)
-		fwdShare = append(fwdShare, fwdSec/total)
-		bwdShare = append(bwdShare, bwdSec/total)
+		fwdShare = append(fwdShare, ph.fwd/total)
+		bwdShare = append(bwdShare, ph.bwd/total)
 	}
 
 	return Report{

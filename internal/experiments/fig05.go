@@ -6,8 +6,10 @@ import (
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/dram"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
+	"igosim/internal/workload"
 )
 
 // Fig05 reproduces the dY traffic shares of the baseline backward pass on
@@ -19,15 +21,16 @@ func Fig05() Report {
 	models := suiteFor(cfg)
 
 	t := stats.NewTable("model", "dY/(R+W)%", "dY/R%")
+	type shares struct{ rw, r float64 }
+	rows := runner.Map(models, func(m workload.Model) shares {
+		tr := core.RunBackwardOnly(cfg, sim.Options{}, m, core.PolBaseline).BwdTraffic
+		return shares{rw: tr.Share(dram.ClassDY), r: tr.ReadShare(dram.ClassDY)}
+	})
 	var rw, r []float64
-	for _, m := range models {
-		run := core.RunBackwardOnly(cfg, sim.Options{}, m, core.PolBaseline)
-		tr := run.BwdTraffic
-		rwShare := tr.Share(dram.ClassDY)
-		rShare := tr.ReadShare(dram.ClassDY)
-		t.AddRowF("%s", m.Abbr, "%.1f", 100*rwShare, "%.1f", 100*rShare)
-		rw = append(rw, rwShare)
-		r = append(r, rShare)
+	for i, m := range models {
+		t.AddRowF("%s", m.Abbr, "%.1f", 100*rows[i].rw, "%.1f", 100*rows[i].r)
+		rw = append(rw, rows[i].rw)
+		r = append(r, rows[i].r)
 	}
 
 	return Report{

@@ -5,8 +5,10 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
+	"igosim/internal/workload"
 )
 
 // Fig06 reproduces the Section 3.3 limit study: the baseline schedule with
@@ -20,11 +22,14 @@ func Fig06() Report {
 
 	for _, cfg := range []config.NPU{config.LargeNPU(), config.SmallNPU()} {
 		models := suiteFor(cfg)
-		var speedups []float64
-		for _, m := range models {
+		norms := runner.Map(models, func(m workload.Model) float64 {
 			base := core.RunTraining(cfg, sim.Options{}, m, core.PolBaseline)
 			free := core.RunTraining(cfg, sim.Options{FreeDYOnDW: true}, m, core.PolBaseline)
-			norm := float64(free.TotalCycles()) / float64(base.TotalCycles())
+			return float64(free.TotalCycles()) / float64(base.TotalCycles())
+		})
+		var speedups []float64
+		for i, m := range models {
+			norm := norms[i]
 			sp := 1 / norm
 			t.AddRowF("%s", cfg.Name, "%s", m.Abbr, "%.3f", norm, "%.2fx", sp)
 			speedups = append(speedups, sp)

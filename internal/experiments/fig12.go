@@ -19,10 +19,8 @@ func Fig12() Report {
 
 	for _, cfg := range []config.NPU{config.SmallNPU(), config.LargeNPU()} {
 		models := suiteFor(cfg)
-		base := trainingCycles(cfg, models, core.PolBaseline)
-		ilv := trainingCycles(cfg, models, core.PolInterleave)
-		rea := trainingCycles(cfg, models, core.PolRearrange)
-		par := trainingCycles(cfg, models, core.PolPartition)
+		grid := policyGrid(cfg, models, core.Policies())
+		base, ilv, rea, par := grid[0], grid[1], grid[2], grid[3]
 
 		for i, m := range models {
 			b := float64(base[i].TotalCycles())

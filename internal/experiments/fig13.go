@@ -6,8 +6,10 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
+	"igosim/internal/workload"
 )
 
 // Fig13 reproduces the per-layer study: for the top 15% longest-running
@@ -26,24 +28,28 @@ func Fig13() Report {
 		normTraffic float64
 		normTime    float64
 	}
-	var rows []row
-
-	for _, m := range models {
+	perModel := runner.Map(models, func(m workload.Model) []row {
 		base := core.RunBackwardOnly(cfg, sim.Options{}, m, core.PolBaseline)
 		rea := core.RunBackwardOnly(cfg, sim.Options{}, m, core.PolRearrange)
+		var out []row
 		for i := range base.Bwd {
 			b, r := base.Bwd[i], rea.Bwd[i]
 			// The paper excludes the first layer (no dX computation).
 			if i == 0 || b.Cycles == 0 || b.Traffic.Total() == 0 {
 				continue
 			}
-			rows = append(rows, row{
+			out = append(out, row{
 				name:        fmt.Sprintf("%s_%d", m.Abbr, i),
 				baseCycles:  b.Cycles,
 				normTraffic: float64(r.Traffic.Total()) / float64(b.Traffic.Total()),
 				normTime:    float64(r.Cycles) / float64(b.Cycles),
 			})
 		}
+		return out
+	})
+	var rows []row
+	for _, rs := range perModel {
+		rows = append(rows, rs...)
 	}
 
 	// Top 15% of the longest-running layers.

@@ -20,8 +20,8 @@ func Fig14() Report {
 	for _, cores := range []int{1, 2, 4, 8} {
 		cfg := config.LargeNPU().WithCores(cores)
 		models := suiteFor(cfg)
-		base := trainingCycles(cfg, models, core.PolBaseline)
-		full := trainingCycles(cfg, models, core.PolPartition)
+		grid := policyGrid(cfg, models, []core.Policy{core.PolBaseline, core.PolPartition})
+		base, full := grid[0], grid[1]
 		var imps []float64
 		for i, m := range models {
 			norm := float64(full[i].TotalCycles()) / float64(base[i].TotalCycles())

@@ -21,8 +21,8 @@ func Fig15() Report {
 		cfg := config.LargeNPU()
 		cfg = cfg.WithBandwidth(cfg.DRAMBandwidth * scale)
 		models := suiteFor(cfg)
-		base := trainingCycles(cfg, models, core.PolBaseline)
-		full := trainingCycles(cfg, models, core.PolPartition)
+		grid := policyGrid(cfg, models, []core.Policy{core.PolBaseline, core.PolPartition})
+		base, full := grid[0], grid[1]
 		var imps []float64
 		label := fmt.Sprintf("%.2gx (%.1f GB/s)", scale, cfg.DRAMBandwidth/1e9)
 		for i, m := range models {

@@ -20,8 +20,8 @@ func Fig16() Report {
 	for _, batch := range []int{8, 16, 32} {
 		cfg := config.LargeNPU().WithBatch(batch)
 		models := suiteFor(cfg)
-		base := trainingCycles(cfg, models, core.PolBaseline)
-		full := trainingCycles(cfg, models, core.PolPartition)
+		grid := policyGrid(cfg, models, []core.Policy{core.PolBaseline, core.PolPartition})
+		base, full := grid[0], grid[1]
 		var imps []float64
 		for i, m := range models {
 			norm := float64(full[i].TotalCycles()) / float64(base[i].TotalCycles())

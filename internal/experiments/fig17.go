@@ -5,8 +5,10 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
+	"igosim/internal/workload"
 )
 
 // Fig17 reproduces the GPU validation study. The paper implements the
@@ -27,38 +29,42 @@ func Fig17() Report {
 	t := stats.NewTable("model", "interleaving", "+rearrangement", "+datapartitioning")
 	var iAll, rAll, pAll []float64
 
-	for _, m := range models {
-		var baseC, ilvC, reaC, parC int64
+	type totals struct{ base, ilv, rea, par int64 }
+	perModel := runner.Map(models, func(m workload.Model) totals {
+		var c totals
 		for _, lp := range core.PlanModel(cfg, m) {
 			p := lp.Params
 			if lp.Layer.SkipDX {
-				dw := core.TunedDWOnly(cfg, p)
-				r := sim.RunSchedules(cfg, sim.Options{}, dw)
-				baseC += r.Cycles
-				ilvC += r.Cycles
-				reaC += r.Cycles
-				parC += r.Cycles
+				// dW-only first layer: identical under every policy.
+				r := core.RunBackwardMulti(cfg, sim.Options{}, p, core.PolBaseline, true)
+				c.base += r.Cycles
+				c.ilv += r.Cycles
+				c.rea += r.Cycles
+				c.par += r.Cycles
 				continue
 			}
 			// GPU baseline: best of two-kernel and fused-sequential.
 			dxK, dwK := core.TunedBaselineKernels(cfg, p)
-			two := sim.RunSchedules(cfg, sim.Options{}, dxK, dwK)
+			two := core.RunBackwardMulti(cfg, sim.Options{}, p, core.PolBaseline, false)
 			fusedSeq := sim.RunSchedules(cfg, sim.Options{}, core.ConcatKernels(dxK, dwK))
-			baseC += min(two.Cycles, fusedSeq.Cycles)
+			c.base += min(two.Cycles, fusedSeq.Cycles)
 
-			ilvC += sim.RunSchedules(cfg, sim.Options{}, core.TunedInterleave(cfg, p)).Cycles
-			rea, _ := core.RearrangedTuned(cfg, p)
-			reaC += sim.RunSchedules(cfg, sim.Options{}, rea).Cycles
-			parC += core.RunBackward(cfg, sim.Options{}, p, core.PolPartition, false).Cycles
+			c.ilv += core.RunBackwardMulti(cfg, sim.Options{}, p, core.PolInterleave, false).Cycles
+			c.rea += core.RunBackwardMulti(cfg, sim.Options{}, p, core.PolRearrange, false).Cycles
+			c.par += core.RunBackwardMulti(cfg, sim.Options{}, p, core.PolPartition, false).Cycles
 		}
-		b := float64(baseC)
+		return c
+	})
+	for i, m := range models {
+		c := perModel[i]
+		b := float64(c.base)
 		t.AddRowF("%s", m.Abbr,
-			"%.3f", float64(ilvC)/b,
-			"%.3f", float64(reaC)/b,
-			"%.3f", float64(parC)/b)
-		iAll = append(iAll, 1-float64(ilvC)/b)
-		rAll = append(rAll, 1-float64(reaC)/b)
-		pAll = append(pAll, 1-float64(parC)/b)
+			"%.3f", float64(c.ilv)/b,
+			"%.3f", float64(c.rea)/b,
+			"%.3f", float64(c.par)/b)
+		iAll = append(iAll, 1-float64(c.ilv)/b)
+		rAll = append(rAll, 1-float64(c.rea)/b)
+		pAll = append(pAll, 1-float64(c.par)/b)
 	}
 
 	return Report{

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"igosim/internal/core"
+	"igosim/internal/runner"
+)
+
+// renderAll concatenates every report's rendering; any difference in any
+// byte of any table or summary shows up in the comparison.
+func renderReports(reps []Report) string {
+	var out string
+	for _, r := range reps {
+		out += r.String()
+	}
+	return out
+}
+
+// TestReportsByteIdenticalAcrossParallelism runs a set of cheap harnesses
+// cold at width 8 and again (warm) at width 1 and demands byte-identical
+// output: the runner's indexed fan-in plus the pure simulation functions
+// make worker count and cache state invisible in the results.
+func TestReportsByteIdenticalAcrossParallelism(t *testing.T) {
+	harnesses := []func() Report{Fig05, Fig06, func() Report { return KNNSelection(5) }}
+
+	prev := runner.SetParallelism(8)
+	defer runner.SetParallelism(prev)
+	core.ResetCaches()
+	var parallel []Report
+	for _, h := range harnesses {
+		parallel = append(parallel, h())
+	}
+
+	runner.SetParallelism(1)
+	var sequential []Report
+	for _, h := range harnesses {
+		sequential = append(sequential, h())
+	}
+
+	if p, s := renderReports(parallel), renderReports(sequential); p != s {
+		t.Fatalf("reports differ between -j 8 (cold) and -j 1 (warm)\n--- parallel ---\n%s\n--- sequential ---\n%s", p, s)
+	}
+}
+
+// TestAllByteIdenticalAcrossParallelism is the full-suite version: every
+// experiment of All(), cold at width 8 versus warm at width 1. It
+// regenerates the whole evaluation (~minutes), so it only runs when
+// IGOSIM_GOLDEN_ALL=1 is set (the `make golden` target).
+func TestAllByteIdenticalAcrossParallelism(t *testing.T) {
+	if os.Getenv("IGOSIM_GOLDEN_ALL") != "1" {
+		t.Skip("set IGOSIM_GOLDEN_ALL=1 (or run `make golden`) for the full-suite golden comparison")
+	}
+	prev := runner.SetParallelism(8)
+	defer runner.SetParallelism(prev)
+	core.ResetCaches()
+	parallel := renderReports(All())
+
+	runner.SetParallelism(1)
+	sequential := renderReports(All())
+
+	if parallel != sequential {
+		t.Fatal("experiments.All() output differs between -j 8 (cold) and -j 1 (warm)")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
 )
@@ -39,32 +40,35 @@ func KNNSelection(trials int) Report {
 		sample   core.SchemeSample
 		cycles   map[core.Scheme]int64
 		baseline int64
+		best     int64
 	}
-	var data []labelled
-	var baseTotal, idealTotal int64
-
+	var plans []core.LayerPlan
 	for _, m := range models {
 		for _, lp := range core.PlanModel(cfg, m) {
-			if lp.Layer.SkipDX {
-				continue
+			if !lp.Layer.SkipDX {
+				plans = append(plans, lp)
 			}
-			base := core.RunBackwardMulti(cfg, sim.Options{}, lp.Params, core.PolBaseline, false)
-			l := labelled{cycles: make(map[core.Scheme]int64), baseline: base.Cycles}
-			bestScheme := core.WeightSharing
-			var bestCycles int64 = -1
-			for _, sch := range core.Schemes() {
-				out := core.RunPartitionedScheme(cfg, sim.Options{}, lp.Params, sch, cfg.Cores)
-				l.cycles[sch] = out.Cycles
-				if bestCycles < 0 || out.Cycles < bestCycles {
-					bestCycles = out.Cycles
-					bestScheme = sch
-				}
-			}
-			l.sample = core.SchemeSample{Dims: lp.Params.Dims, Best: bestScheme}
-			data = append(data, l)
-			baseTotal += l.baseline
-			idealTotal += bestCycles
 		}
+	}
+	data := runner.Map(plans, func(lp core.LayerPlan) labelled {
+		base := core.RunBackwardMulti(cfg, sim.Options{}, lp.Params, core.PolBaseline, false)
+		l := labelled{cycles: make(map[core.Scheme]int64), baseline: base.Cycles, best: -1}
+		bestScheme := core.WeightSharing
+		for _, sch := range core.Schemes() {
+			out := core.RunPartitionedScheme(cfg, sim.Options{}, lp.Params, sch, cfg.Cores)
+			l.cycles[sch] = out.Cycles
+			if l.best < 0 || out.Cycles < l.best {
+				l.best = out.Cycles
+				bestScheme = sch
+			}
+		}
+		l.sample = core.SchemeSample{Dims: lp.Params.Dims, Best: bestScheme}
+		return l
+	})
+	var baseTotal, idealTotal int64
+	for _, l := range data {
+		baseTotal += l.baseline
+		idealTotal += l.best
 	}
 
 	// Repeated random 80/20 splits for accuracy, and KNN-selected cycles

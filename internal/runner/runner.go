@@ -1,0 +1,140 @@
+// Package runner is the bounded parallel execution engine behind the
+// simulator's evaluation pipeline. Every simulation in this repository is a
+// pure function of its inputs — an NPU configuration, a layer's tile
+// parameters and a policy — so experiment grids (model x policy x config)
+// are embarrassingly parallel. The runner provides:
+//
+//   - a process-wide parallelism setting (GOMAXPROCS by default, the CLIs'
+//     -j flag and igo.Parallelism override it);
+//   - Map / MapErr: indexed fan-out/fan-in over a bounded worker pool with
+//     deterministic result ordering (results land at their input index, so
+//     output is byte-identical regardless of worker count) and, for MapErr,
+//     context cancellation on the first error;
+//   - Cache (cache.go): a sharded, shape-keyed memoization cache for
+//     per-layer simulation results.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism holds the worker-pool width; 0 means "use GOMAXPROCS".
+var parallelism atomic.Int64
+
+// Parallelism returns the current worker-pool width used by Map and MapErr.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetParallelism sets the worker-pool width and returns the previous
+// setting. n <= 0 resets to the default (GOMAXPROCS). The setting is
+// process-wide: simulations are pure, so the width affects only wall-clock
+// time, never results.
+func SetParallelism(n int) int {
+	prev := Parallelism()
+	if n <= 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+	return prev
+}
+
+// Map applies fn to every item on up to Parallelism() workers and returns
+// the results in input order. With a width of 1 (or a single item) it runs
+// inline on the calling goroutine, making the sequential path the trivial
+// special case of the parallel one.
+func Map[T, R any](items []T, fn func(T) R) []R {
+	out := make([]R, len(items))
+	workers := min(Parallelism(), len(items))
+	if workers <= 1 {
+		for i := range items {
+			out[i] = fn(items[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MapErr is Map with failure handling: fn receives a context that is
+// cancelled as soon as any item fails, workers stop claiming new items once
+// cancelled, and the lowest-indexed error observed is returned. On error
+// the returned slice holds the results completed before cancellation.
+func MapErr[T, R any](ctx context.Context, items []T, fn func(context.Context, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	workers := min(Parallelism(), len(items))
+	if workers <= 1 {
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			r, err := fn(ctx, items[i])
+			if err != nil {
+				return out, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = len(items)
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, items[i])
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, parent.Err()
+}

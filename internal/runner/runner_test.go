@@ -1,0 +1,170 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// withParallelism runs the body at the given pool width, restoring the
+// previous width afterwards.
+func withParallelism(t *testing.T, n int, body func()) {
+	t.Helper()
+	prev := SetParallelism(n)
+	defer SetParallelism(prev)
+	body()
+}
+
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	if got := SetParallelism(7); got != 3 {
+		t.Fatalf("SetParallelism returned %d, want previous 3", got)
+	}
+	// n <= 0 restores the GOMAXPROCS default.
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism() = %d, want >= 1", got)
+	}
+}
+
+func TestMapOrderIndependentOfWidth(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	want := Map(items, func(v int) int { return v * v }) // current width
+	for _, width := range []int{1, 2, 4, 16, 128} {
+		withParallelism(t, width, func() {
+			got := Map(items, func(v int) int { return v * v })
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("width %d: got[%d] = %d, want %d", width, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(nil, func(v int) int { return v }); len(got) != 0 {
+		t.Fatalf("Map(nil) = %v", got)
+	}
+	if got := Map([]int{42}, func(v int) int { return v + 1 }); got[0] != 43 {
+		t.Fatalf("Map single = %v", got)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const width = 4
+	withParallelism(t, width, func() {
+		var cur, peak atomic.Int64
+		Map(make([]int, 64), func(int) int {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			defer cur.Add(-1)
+			return 0
+		})
+		if p := peak.Load(); p > width {
+			t.Fatalf("observed %d concurrent workers, want <= %d", p, width)
+		}
+	})
+}
+
+func TestMapErrLowestIndexWins(t *testing.T) {
+	items := make([]int, 64)
+	for _, width := range []int{1, 8} {
+		withParallelism(t, width, func() {
+			_, err := MapErr(context.Background(), items, func(_ context.Context, _ int) (int, error) {
+				return 0, errors.New("boom")
+			})
+			if err == nil || err.Error() != "boom" {
+				t.Fatalf("width %d: err = %v", width, err)
+			}
+		})
+	}
+
+	// With several failing items, the lowest-indexed error is reported:
+	// indices are claimed in order, so the earliest failing index is
+	// always among those observed before cancellation settles, and the
+	// lowest observed one wins.
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = i
+	}
+	withParallelism(t, 8, func() {
+		_, err := MapErr(context.Background(), idx, func(_ context.Context, v int) (int, error) {
+			if v >= 10 {
+				return 0, fmt.Errorf("item %d failed", v)
+			}
+			return v, nil
+		})
+		if err == nil || err.Error() != "item 10 failed" {
+			t.Fatalf("err = %v, want item 10 failed", err)
+		}
+	})
+}
+
+func TestMapErrSuccess(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	withParallelism(t, 4, func() {
+		got, err := MapErr(context.Background(), items, func(_ context.Context, v int) (int, error) {
+			return v * 10, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range items {
+			if got[i] != v*10 {
+				t.Fatalf("got[%d] = %d", i, got[i])
+			}
+		}
+	})
+}
+
+func TestMapErrCancelledParent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, width := range []int{1, 4} {
+		withParallelism(t, width, func() {
+			var calls atomic.Int64
+			_, err := MapErr(ctx, make([]int, 32), func(_ context.Context, _ int) (int, error) {
+				calls.Add(1)
+				return 0, nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("width %d: err = %v, want context.Canceled", width, err)
+			}
+		})
+	}
+}
+
+func TestMapErrStopsClaimingAfterFailure(t *testing.T) {
+	// After the first item fails, cancelled workers stop claiming; far
+	// fewer than all items run. Can't assert an exact count (in-flight
+	// items finish), but with width 2 and item 0 failing, the tail of a
+	// long slice must be untouched.
+	withParallelism(t, 2, func() {
+		var calls atomic.Int64
+		_, err := MapErr(context.Background(), make([]int, 10_000), func(_ context.Context, _ int) (int, error) {
+			calls.Add(1)
+			return 0, errors.New("first item fails")
+		})
+		if err == nil {
+			t.Fatal("want error")
+		}
+		if n := calls.Load(); n > 100 {
+			t.Fatalf("%d items ran after early failure, want early stop", n)
+		}
+	})
+}

@@ -53,9 +53,7 @@ func (r *Result) Add(o Result) {
 	r.MemCycles += o.MemCycles
 	r.Traffic.Merge(o.Traffic)
 	r.Ops += o.Ops
-	r.SPM.Hits += o.SPM.Hits
-	r.SPM.Misses += o.SPM.Misses
-	r.SPM.Evictions += o.SPM.Evictions
+	r.SPM.Merge(o.SPM)
 	r.Spills += o.Spills
 }
 

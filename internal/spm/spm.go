@@ -27,6 +27,15 @@ type Stats struct {
 	Evictions int64
 }
 
+// Merge adds o's counters into s. Every counter merge in the simulator goes
+// through here, so a counter added to Stats cannot be forgotten in one of
+// the call sites.
+func (s *Stats) Merge(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+}
+
 type node[K comparable] struct {
 	key        K
 	bytes      int64

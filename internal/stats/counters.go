@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheCounters accumulates hit/miss counts for one named cache. The
+// counters are lock-free so hot simulation paths can bump them from many
+// goroutines; construct with NewCacheCounters to register the cache in the
+// process-wide report.
+type CacheCounters struct {
+	name   string
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Hit records one cache hit.
+func (c *CacheCounters) Hit() { c.hits.Add(1) }
+
+// Miss records one cache miss.
+func (c *CacheCounters) Miss() { c.misses.Add(1) }
+
+// Reset zeroes the counters.
+func (c *CacheCounters) Reset() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Snapshot returns the current counter values.
+func (c *CacheCounters) Snapshot() CacheSnapshot {
+	return CacheSnapshot{Name: c.name, Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// CacheSnapshot is one cache's counters at a point in time.
+type CacheSnapshot struct {
+	Name   string
+	Hits   int64
+	Misses int64
+}
+
+// Lookups returns the total number of lookups.
+func (s CacheSnapshot) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate returns the fraction of lookups that hit (0 with no lookups).
+func (s CacheSnapshot) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+func (s CacheSnapshot) String() string {
+	return fmt.Sprintf("%s: %d hits / %d lookups (%.1f%% hit rate)",
+		s.Name, s.Hits, s.Lookups(), 100*s.HitRate())
+}
+
+// cacheRegistry tracks every registered cache for CacheReport.
+var cacheRegistry struct {
+	mu   sync.Mutex
+	list []*CacheCounters
+}
+
+// NewCacheCounters creates counters registered under the given name; the
+// cache then shows up in CacheReport.
+func NewCacheCounters(name string) *CacheCounters {
+	c := &CacheCounters{name: name}
+	cacheRegistry.mu.Lock()
+	cacheRegistry.list = append(cacheRegistry.list, c)
+	cacheRegistry.mu.Unlock()
+	return c
+}
+
+// CacheReport returns a snapshot of every registered cache, sorted by name.
+func CacheReport() []CacheSnapshot {
+	cacheRegistry.mu.Lock()
+	defer cacheRegistry.mu.Unlock()
+	out := make([]CacheSnapshot, 0, len(cacheRegistry.list))
+	for _, c := range cacheRegistry.list {
+		out = append(out, c.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCacheCountersBasics(t *testing.T) {
+	c := NewCacheCounters("test-basic")
+	c.Hit()
+	c.Hit()
+	c.Miss()
+	s := c.Snapshot()
+	if s.Name != "test-basic" || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Lookups() != 3 {
+		t.Fatalf("lookups = %d", s.Lookups())
+	}
+	if got := s.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %g", got)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s.Lookups() != 0 {
+		t.Fatalf("reset snapshot = %+v", s)
+	}
+}
+
+func TestCacheSnapshotString(t *testing.T) {
+	s := CacheSnapshot{Name: "layer-sim", Hits: 3, Misses: 1}
+	out := s.String()
+	for _, want := range []string{"layer-sim", "3 hits", "4 lookups", "75.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	if r := (CacheSnapshot{}).HitRate(); r != 0 {
+		t.Fatalf("empty hit rate = %g", r)
+	}
+}
+
+func TestCacheReportSortedAndRegistered(t *testing.T) {
+	NewCacheCounters("zz-report-b").Hit()
+	NewCacheCounters("aa-report-a").Miss()
+	rep := CacheReport()
+	ia, ib := -1, -1
+	for i, s := range rep {
+		switch s.Name {
+		case "aa-report-a":
+			ia = i
+		case "zz-report-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		t.Fatalf("registered caches missing from report: %v", rep)
+	}
+	if ia > ib {
+		t.Fatal("report not sorted by name")
+	}
+	for i := 1; i < len(rep); i++ {
+		if rep[i-1].Name > rep[i].Name {
+			t.Fatalf("report out of order at %d: %q > %q", i, rep[i-1].Name, rep[i].Name)
+		}
+	}
+}
+
+// TestCountersConcurrent verifies the counters are safe to bump from many
+// goroutines (run with -race) and lose no updates.
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCacheCounters("test-concurrent")
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Hit()
+				c.Miss()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Hits != goroutines*each || s.Misses != goroutines*each {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
