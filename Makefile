@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet ci golden
+.PHONY: build test race bench vet ci golden trace-check
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-ci: vet build race bench
+# Observability gate: the disabled trace path must not allocate or change
+# results, and the Chrome-trace export must match the goldens byte for byte
+# (regenerate with `go test ./internal/trace/ -run Golden -update`).
+trace-check:
+	$(GO) test ./internal/trace/ -run 'TestDisabledPathZeroAllocs|TestTracingDoesNotChangeResults|TestGoldenTraceJSON' -count=1
+
+ci: vet build race bench trace-check
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

@@ -20,6 +20,7 @@ import (
 
 	"igosim/internal/experiments"
 	"igosim/internal/runner"
+	"igosim/internal/trace"
 )
 
 func main() {
@@ -27,11 +28,14 @@ func main() {
 		fig    = flag.String("fig", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))
 		trials = flag.Int("trials", experiments.DefaultKNNTrials, "KNN study repetitions")
 		csv    = flag.Bool("csv", false, "emit tables as CSV")
-		timing = flag.Bool("time", false, "print wall-clock time per experiment")
-		jobs   = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		timing   = flag.Bool("time", false, "print wall-clock time per experiment")
+		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
+		report   = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
 	)
 	flag.Parse()
 	runner.SetParallelism(*jobs)
+	stopTrace := trace.StartCLI(*traceOut, *report)
 
 	ids := experiments.IDs()
 	if *fig != "all" {
@@ -77,5 +81,9 @@ func main() {
 		if *timing {
 			fmt.Printf("[%s took %.1fs]\n\n", rep.ID, r.elapsed.Seconds())
 		}
+	}
+	if err := stopTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
 	}
 }

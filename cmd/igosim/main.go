@@ -17,6 +17,7 @@ import (
 	"igosim/internal/dram"
 	"igosim/internal/energy"
 	"igosim/internal/sim"
+	"igosim/internal/trace"
 	"igosim/internal/workload"
 )
 
@@ -30,8 +31,11 @@ func main() {
 		batch     = flag.Int("batch", 0, "override per-core batch size (0 = preset)")
 		perLayer  = flag.Bool("layers", false, "print per-layer breakdown")
 		withNRG   = flag.Bool("energy", false, "print an energy estimate (45nm coefficients)")
+		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
+		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
 	)
 	flag.Parse()
+	stopTrace := trace.StartCLI(*traceOut, *report)
 
 	cfg, suite, err := resolveConfig(*cfgName)
 	if err != nil {
@@ -96,6 +100,9 @@ func main() {
 			printLayers(base, run)
 		}
 		fmt.Println()
+	}
+	if err := stopTrace(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
+	"igosim/internal/trace"
 	"igosim/internal/workload"
 )
 
@@ -35,9 +36,12 @@ func main() {
 		coreList  = flag.String("cores", "1", "core counts to sweep")
 		csv       = flag.Bool("csv", false, "emit CSV")
 		jobs      = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
+		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
 	)
 	flag.Parse()
 	runner.SetParallelism(*jobs)
+	stopTrace := trace.StartCLI(*traceOut, *report)
 
 	model, err := workload.FindModel(*suiteName, *modelName)
 	if err != nil {
@@ -74,6 +78,8 @@ func main() {
 		seconds   [2]float64
 		ridge     float64
 		reduction float64
+		evictions int64
+		spills    int64
 	}
 	results, err := runner.MapErr(context.Background(), grid, func(_ context.Context, p point) (result, error) {
 		cfg := config.LargeNPU().WithCores(int(p.nc)).WithBandwidth(p.bw * 1e9)
@@ -84,18 +90,25 @@ func main() {
 		}
 		base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
 		igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
-		return result{
+		r := result{
 			p:         p,
 			seconds:   [2]float64{base.Seconds(cfg), igo.Seconds(cfg)},
 			ridge:     analytic.Ridge(cfg),
 			reduction: core.Improvement(base, igo),
-		}, nil
+		}
+		// Residency pressure of the winning policy's backward pass: how often
+		// the LRU set evicted, and how many live partial sums spilled to DRAM.
+		for _, l := range igo.Bwd {
+			r.evictions += l.SPM.Evictions
+			r.spills += l.Spills
+		}
+		return r, nil
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	t := stats.NewTable("cores", "bw GB/s", "spm MiB", "base ms", "igo ms", "reduction%", "ridge MACs/B")
+	t := stats.NewTable("cores", "bw GB/s", "spm MiB", "base ms", "igo ms", "reduction%", "evict", "spills", "ridge MACs/B")
 	for _, r := range results {
 		t.AddRowF(
 			"%.0f", r.p.nc,
@@ -104,6 +117,8 @@ func main() {
 			"%.2f", r.seconds[0]*1e3,
 			"%.2f", r.seconds[1]*1e3,
 			"%.1f", 100*r.reduction,
+			"%d", r.evictions,
+			"%d", r.spills,
 			"%.0f", r.ridge,
 		)
 	}
@@ -113,6 +128,9 @@ func main() {
 		fmt.Print(t.CSV())
 	} else {
 		fmt.Print(t)
+	}
+	if err := stopTrace(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -22,7 +22,10 @@ import (
 	"igosim/internal/core"
 	"igosim/internal/runner"
 	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/spm"
 	"igosim/internal/tensor"
+	"igosim/internal/trace"
 	"igosim/internal/workload"
 )
 
@@ -42,9 +45,12 @@ func main() {
 		suiteName = flag.String("suite", "server", "zoo suite: edge or server")
 		verbose   = flag.Bool("v", false, "per-layer progress")
 		jobs      = flag.Int("j", 0, "parallel validation workers (0 = GOMAXPROCS)")
+		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the residency simulations to this file (view in Perfetto)")
+		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
 	)
 	flag.Parse()
 	runner.SetParallelism(*jobs)
+	stopTrace := trace.StartCLI(*traceOut, *report)
 
 	models, err := workload.AllModels(*suiteName)
 	if err != nil {
@@ -62,12 +68,17 @@ func main() {
 	// progress lines so the output is printed in zoo order afterwards,
 	// identical at every -j. The first failing model (in zoo order) wins.
 	cfg := config.SmallNPU()
-	type report struct {
+	type modelReport struct {
 		layers, checks int
 		lines          []string
+		// Residency behaviour of the simulated schedules: eviction and
+		// spill counts surface scratchpad pressure next to the numeric
+		// verdicts (a schedule can be correct yet thrash the SPM).
+		spmStats spm.Stats
+		spills   int64
 	}
-	reports, err := runner.MapErr(context.Background(), models, func(_ context.Context, m workload.Model) (report, error) {
-		var rep report
+	reports, err := runner.MapErr(context.Background(), models, func(_ context.Context, m workload.Model) (modelReport, error) {
+		var rep modelReport
 		for i, l := range m.Layers(2) {
 			if l.SkipDX {
 				continue
@@ -93,6 +104,12 @@ func main() {
 				if err := core.CheckEquivalence(d, tl, s.Ops, 1e-6); err != nil {
 					return rep, fmt.Errorf("%s layer %d (%s) %s: %w", m.Abbr, i, l.Name, s.Name, err)
 				}
+				res := sim.RunSchedules(cfg, sim.Options{
+					Trace:      trace.Active(),
+					TraceLabel: m.Abbr + "/" + l.Name + " " + s.Name,
+				}, s)
+				rep.spmStats.Merge(res.SPM)
+				rep.spills += res.Spills
 				rep.checks++
 			}
 
@@ -132,11 +149,15 @@ func main() {
 		if len(rep.lines) > 0 {
 			fmt.Println(strings.Join(rep.lines, "\n"))
 		}
-		fmt.Printf("%-10s validated\n", m.Abbr)
+		fmt.Printf("%-10s validated   residency: %d hits, %d misses, %d evictions, %d spills\n",
+			m.Abbr, rep.spmStats.Hits, rep.spmStats.Misses, rep.spmStats.Evictions, rep.spills)
 		layers += rep.layers
 		checks += rep.checks
 	}
 	fmt.Printf("\nOK: %d layers, %d schedule executions, gradients bit-match the reference\n", layers, checks)
+	if err := stopTrace(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

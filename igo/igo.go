@@ -25,6 +25,8 @@
 package igo
 
 import (
+	"io"
+
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/experiments"
@@ -32,6 +34,7 @@ import (
 	"igosim/internal/sim"
 	"igosim/internal/stats"
 	"igosim/internal/tensor"
+	"igosim/internal/trace"
 	"igosim/internal/workload"
 )
 
@@ -173,6 +176,38 @@ func CacheStats() []string {
 	return out
 }
 
-// ResetCaches clears the simulator's memo caches and their counters —
-// mainly for benchmarking cold-start behaviour.
+// ResetCaches clears the simulator's memo caches and the hit/miss counters
+// of every registered cache — mainly for benchmarking cold-start behaviour
+// and for isolating back-to-back measurement runs.
 func ResetCaches() { core.ResetCaches() }
+
+// TraceMetrics is the derived summary of a traced run: stall-cycle
+// attribution, SPM occupancy high-water marks, per-tensor-class reuse
+// distances, memo hits and runner task spans. Render it with Report().
+type TraceMetrics = trace.Metrics
+
+// WithTrace runs fn with cycle-level event tracing enabled process-wide:
+// every simulation started inside fn — Train, Experiment, anything built on
+// the engine — emits tile-op spans, SPM occupancy samples and phase spans
+// into one sink. When w is non-nil the collected events are written to it as
+// Chrome trace-event JSON (loadable in Perfetto or chrome://tracing); the
+// returned TraceMetrics summarises the run either way.
+//
+// Tracing never changes simulation results; it only records them. Nested or
+// concurrent WithTrace calls are not supported (the sink is process-wide):
+// the inner call would capture the outer call's events.
+func WithTrace(w io.Writer, fn func()) (TraceMetrics, error) {
+	sink := trace.New()
+	prev := trace.SetActive(sink)
+	defer trace.SetActive(prev)
+	fn()
+	if err := sink.Check(); err != nil {
+		return sink.Metrics(), err
+	}
+	if w != nil {
+		if err := sink.WriteJSON(w); err != nil {
+			return sink.Metrics(), err
+		}
+	}
+	return sink.Metrics(), nil
+}

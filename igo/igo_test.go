@@ -140,4 +140,53 @@ func TestPublicParallelismAndCaches(t *testing.T) {
 	if !found {
 		t.Fatalf("CacheStats missing live layer-sim counters: %q", igo.CacheStats())
 	}
+
+	// ResetCaches also zeroes the registered hit/miss counters.
+	igo.ResetCaches()
+	for _, line := range igo.CacheStats() {
+		if strings.Contains(line, "core/layer-sim") && !strings.Contains(line, "0 hits / 0 lookups") {
+			t.Fatalf("ResetCaches left counters live: %q", line)
+		}
+	}
+}
+
+func TestPublicWithTrace(t *testing.T) {
+	cfg := smallFastConfig()
+	model, err := igo.ModelByName(igo.EdgeSuite(), "ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	igo.ResetCaches()
+	plain := igo.Train(cfg, model, igo.Interleave)
+
+	igo.ResetCaches()
+	var buf strings.Builder
+	var traced igo.ModelRun
+	m, err := igo.WithTrace(&buf, func() {
+		traced = igo.Train(cfg, model, igo.Interleave)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing is observability only: the run is bit-identical.
+	if plain.TotalCycles() != traced.TotalCycles() {
+		t.Fatalf("tracing changed the result: %d vs %d cycles", plain.TotalCycles(), traced.TotalCycles())
+	}
+	// The metrics reconcile with the simulated work.
+	if m.Cycles == 0 || m.Cycles != m.ComputeBusy+m.StallDMA+m.StallSpill {
+		t.Fatalf("stall attribution does not reconcile: %+v", m)
+	}
+	if m.Tracks == 0 || m.Ops == 0 || m.Tasks == 0 {
+		t.Fatalf("trace missing engine tracks or runner tasks: %+v", m)
+	}
+	// The writer received the Chrome trace-event JSON.
+	out := buf.String()
+	if !strings.HasPrefix(out, `{"displayTimeUnit"`) || !strings.Contains(out, `"traceEvents"`) {
+		t.Fatalf("WithTrace wrote unexpected output: %.80s", out)
+	}
+	if rep := m.Report(); !strings.Contains(rep, "=== trace report ===") {
+		t.Fatalf("Report() malformed: %.80s", rep)
+	}
 }

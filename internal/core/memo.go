@@ -54,19 +54,41 @@ var layerMemo = runner.NewCache[layerKey, LayerOutcome]("core/layer-sim")
 
 func layerKeyFor(cfg config.NPU, p schedule.TileParams, kind memoKind, opts sim.Options) layerKey {
 	p.Layer, p.Part = 0, 0
+	// Tracing never changes simulation outcomes, so traced and untraced runs
+	// share cache entries; keeping the sink or label in the key would both
+	// fragment the cache and defeat memoization whenever tracing is on.
+	opts.Trace, opts.TraceLabel = nil, ""
 	return layerKey{fp: cfg.Fingerprint(), p: p, kind: kind, opts: opts}
+}
+
+// memoLayer wraps the layer-memo lookup for traced runs: a served result has
+// no engine spans in the trace (the simulation never ran), so the sink gets
+// a memo-hit instant naming what was skipped instead.
+func memoLayer(key layerKey, opts sim.Options, compute func() LayerOutcome) LayerOutcome {
+	computed := false
+	out := layerMemo.GetOrCompute(key, func() LayerOutcome {
+		computed = true
+		return compute()
+	})
+	if !computed && opts.Trace != nil {
+		opts.Trace.MemoHit("core/layer-sim", opts.TraceLabel)
+	}
+	return out
 }
 
 // LayerMemoStats returns the layer memo cache's hit/miss snapshot.
 func LayerMemoStats() stats.CacheSnapshot { return layerMemo.Stats() }
 
 // ResetCaches drops the layer memo and every schedule-tuning cache,
-// returning the simulator to a cold state. Benchmarks and determinism
-// tests use it to measure uncached behaviour; results are unaffected
-// (cached and recomputed values are identical).
+// returning the simulator to a cold state, and zeroes the hit/miss counters
+// of every cache registered with the stats registry (including caches owned
+// by other packages, such as the KNN feature cache). Benchmarks and
+// determinism tests use it to measure uncached behaviour; results are
+// unaffected (cached and recomputed values are identical).
 func ResetCaches() {
 	layerMemo.Reset()
 	ordersCache.Reset()
 	ilvCache.Reset()
 	reCache.Reset()
+	stats.ResetAllCacheCounters()
 }

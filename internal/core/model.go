@@ -8,6 +8,7 @@ import (
 	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
+	"igosim/internal/trace"
 	"igosim/internal/workload"
 )
 
@@ -30,9 +31,27 @@ type ModelRun struct {
 // TotalCycles returns the training-step makespan (forward + backward).
 func (r ModelRun) TotalCycles() int64 { return r.FwdCycles + r.BwdCycles }
 
-// Seconds converts the training-step makespan to wall-clock time.
+// Seconds converts the training-step makespan to wall-clock time. A
+// configuration without a valid clock (FrequencyHz <= 0) yields 0 rather
+// than +Inf/NaN.
 func (r ModelRun) Seconds(cfg config.NPU) float64 {
+	if cfg.FrequencyHz <= 0 {
+		return 0
+	}
 	return float64(r.TotalCycles()) / cfg.FrequencyHz
+}
+
+// traceOpts injects the process-wide active trace sink into opts when the
+// caller did not pass one explicitly, and labels the layer's trace tracks
+// "model/layer pass". Returns opts unchanged when tracing is off entirely.
+func traceOpts(opts sim.Options, model, layer, pass string) sim.Options {
+	if opts.Trace == nil {
+		opts.Trace = trace.Active()
+	}
+	if opts.Trace != nil {
+		opts.TraceLabel = model + "/" + layer + " " + pass
+	}
+	return opts
 }
 
 // LayerPlan pairs a workload layer with its tile parameters, fixing ids and
@@ -74,9 +93,9 @@ type layerPair struct {
 func RunTraining(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy) ModelRun {
 	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: pol}
 	outs := runner.Map(PlanModel(cfg, m), func(lp LayerPlan) layerPair {
-		fwd := RunForwardMulti(cfg, lp.Params)
+		fwd := RunForwardMulti(cfg, traceOpts(opts, m.Abbr, lp.Layer.Name, "fwd"), lp.Params)
 		fwd.Name = lp.Layer.Name
-		bwd := RunBackwardMulti(cfg, opts, lp.Params, pol, lp.Layer.SkipDX)
+		bwd := RunBackwardMulti(cfg, traceOpts(opts, m.Abbr, lp.Layer.Name, "bwd"), lp.Params, pol, lp.Layer.SkipDX)
 		bwd.Name = lp.Layer.Name
 		return layerPair{fwd: fwd, bwd: bwd}
 	})
@@ -96,7 +115,7 @@ func RunTraining(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy)
 func RunBackwardOnly(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy) ModelRun {
 	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: pol}
 	outs := runner.Map(PlanModel(cfg, m), func(lp LayerPlan) LayerOutcome {
-		bwd := RunBackwardMulti(cfg, opts, lp.Params, pol, lp.Layer.SkipDX)
+		bwd := RunBackwardMulti(cfg, traceOpts(opts, m.Abbr, lp.Layer.Name, "bwd"), lp.Params, pol, lp.Layer.SkipDX)
 		bwd.Name = lp.Layer.Name
 		return bwd
 	})

@@ -7,6 +7,7 @@ import (
 	"igosim/internal/dram"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
+	"igosim/internal/spm"
 	"igosim/internal/tensor"
 )
 
@@ -73,12 +74,20 @@ type LayerOutcome struct {
 	Mem     int64
 	Traffic dram.Traffic
 	Spills  int64
+	// SPM reports scratchpad hit/miss/eviction counts (on multi-core runs,
+	// of the shared or core-0 residency set).
+	SPM spm.Stats
 	// SharedHits counts cross-core SPM hits (multi-core runs only).
 	SharedHits int64
 }
 
-// Seconds converts the outcome to wall-clock time under cfg.
+// Seconds converts the outcome to wall-clock time under cfg. A
+// configuration without a valid clock (FrequencyHz <= 0) yields 0 rather
+// than +Inf/NaN.
 func (l LayerOutcome) Seconds(cfg config.NPU) float64 {
+	if cfg.FrequencyHz <= 0 {
+		return 0
+	}
 	return float64(l.Cycles) / cfg.FrequencyHz
 }
 
@@ -89,6 +98,7 @@ func outcomeFromResult(r sim.Result) LayerOutcome {
 		Mem:     r.MemCycles,
 		Traffic: r.Traffic,
 		Spills:  r.Spills,
+		SPM:     r.SPM,
 	}
 }
 
@@ -197,7 +207,7 @@ func runPartitionedSingle(cfg config.NPU, opts sim.Options, p schedule.TileParam
 		}
 		sched, o := RearrangedTuned(cfg, sub)
 		orders[o] = true
-		e.Run(sched.Ops)
+		e.RunSchedule(sched)
 	}
 	out := outcomeFromResult(e.Result())
 	out.addReductions(plan.ReduceResults(cfg))
@@ -216,7 +226,7 @@ func runPartitionedSingle(cfg config.NPU, opts sim.Options, p schedule.TileParam
 func RunBackwardOrder(cfg config.NPU, opts sim.Options, p schedule.TileParams, o Order) LayerOutcome {
 	key := layerKeyFor(cfg, p, memoBackwardOrder, opts)
 	key.order = o
-	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+	return memoLayer(key, opts, func() LayerOutcome {
 		out := outcomeFromResult(sim.RunSchedules(cfg, opts, Interleaved(p, o)))
 		out.Dims = p.Dims
 		out.Policy = PolRearrange
@@ -228,9 +238,11 @@ func RunBackwardOrder(cfg config.NPU, opts sim.Options, p schedule.TileParams, o
 }
 
 // RunForward simulates one layer's forward pass (always the baseline
-// schedule: the paper's techniques only transform the backward pass).
-func RunForward(cfg config.NPU, p schedule.TileParams) LayerOutcome {
-	out := outcomeFromResult(sim.RunSchedules(cfg, sim.Options{}, schedule.Forward(p)))
+// schedule: the paper's techniques only transform the backward pass). Only
+// the tracing fields of opts apply; schedule-shaping options are ignored.
+func RunForward(cfg config.NPU, opts sim.Options, p schedule.TileParams) LayerOutcome {
+	fopts := sim.Options{Trace: opts.Trace, TraceLabel: opts.TraceLabel}
+	out := outcomeFromResult(sim.RunSchedules(cfg, fopts, schedule.Forward(p)))
 	out.Dims = p.Dims
 	out.Parts = 1
 	return out
@@ -250,7 +262,7 @@ func RunForward(cfg config.NPU, p schedule.TileParams) LayerOutcome {
 func RunBackwardMulti(cfg config.NPU, opts sim.Options, p schedule.TileParams, pol Policy, skipDX bool) LayerOutcome {
 	key := layerKeyFor(cfg, p, memoBackward, opts)
 	key.pol, key.skipDX = pol, skipDX
-	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+	return memoLayer(key, opts, func() LayerOutcome {
 		return runBackwardMulti(cfg, opts, p, pol, skipDX)
 	})
 }
@@ -347,23 +359,27 @@ func finishMulti(cfg config.NPU, mr sim.MultiResult, plan Plan) LayerOutcome {
 		out.Mem += r.MemCycles
 		out.Spills += r.Spills
 	}
+	if len(mr.PerCore) > 0 {
+		out.SPM = mr.PerCore[0].SPM
+	}
 	out.addReductions(plan.ReduceResults(cfg))
 	return out
 }
 
 // RunForwardMulti simulates the forward pass on a multi-core NPU using
 // batch-basis parallelism (rows of Y are independent, so no reduction).
-// Outcomes are memoized per layer shape, like RunBackwardMulti's.
-func RunForwardMulti(cfg config.NPU, p schedule.TileParams) LayerOutcome {
+// Outcomes are memoized per layer shape, like RunBackwardMulti's. Only the
+// tracing fields of opts apply; schedule-shaping options are ignored.
+func RunForwardMulti(cfg config.NPU, opts sim.Options, p schedule.TileParams) LayerOutcome {
 	key := layerKeyFor(cfg, p, memoForward, sim.Options{})
-	return layerMemo.GetOrCompute(key, func() LayerOutcome {
-		return runForwardMulti(cfg, p)
+	return memoLayer(key, opts, func() LayerOutcome {
+		return runForwardMulti(cfg, opts, p)
 	})
 }
 
-func runForwardMulti(cfg config.NPU, p schedule.TileParams) LayerOutcome {
+func runForwardMulti(cfg config.NPU, opts sim.Options, p schedule.TileParams) LayerOutcome {
 	if cfg.Cores == 1 {
-		return RunForward(cfg, p)
+		return RunForward(cfg, opts, p)
 	}
 	plan := PartitionLayer(p, WeightSharing, cfg.Cores)
 	var streams [][]schedule.Op
@@ -373,7 +389,8 @@ func runForwardMulti(cfg config.NPU, p schedule.TileParams) LayerOutcome {
 	}
 	// The forward pass runs as conventional data parallelism: private
 	// per-core buffers.
-	mr := sim.RunMultiPhased(cfg, sim.Options{}, [][][]schedule.Op{streams}, false)
+	fopts := sim.Options{Trace: opts.Trace, TraceLabel: opts.TraceLabel}
+	mr := sim.RunMultiPhased(cfg, fopts, [][][]schedule.Op{streams}, false)
 	out := LayerOutcome{
 		Cycles:     mr.Cycles,
 		Traffic:    mr.Traffic,

@@ -110,7 +110,7 @@ func TestSkipDXSkipsDX(t *testing.T) {
 func TestRunForwardWritesY(t *testing.T) {
 	cfg := tinyCfg()
 	p := LayerParams(tensor.Dims{M: 32, K: 32, N: 32}, 1, cfg)
-	out := RunForward(cfg, p)
+	out := RunForward(cfg, sim.Options{}, p)
 	if out.Traffic.Write[dram.ClassY] != 32*32*4 {
 		t.Fatalf("Y writeback = %d", out.Traffic.Write[dram.ClassY])
 	}

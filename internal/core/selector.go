@@ -21,14 +21,15 @@ type OrderSelector func(cfg config.NPU, p schedule.TileParams) Order
 func RunTrainingSelector(cfg config.NPU, opts sim.Options, m workload.Model, sel OrderSelector) ModelRun {
 	run := ModelRun{Model: m.Abbr, Config: cfg.Name, Policy: PolRearrange}
 	outs := runner.Map(PlanModel(cfg, m), func(lp LayerPlan) layerPair {
-		fwd := RunForwardMulti(cfg, lp.Params)
+		fwd := RunForwardMulti(cfg, traceOpts(opts, m.Abbr, lp.Layer.Name, "fwd"), lp.Params)
 		fwd.Name = lp.Layer.Name
 
+		bopts := traceOpts(opts, m.Abbr, lp.Layer.Name, "bwd")
 		var bwd LayerOutcome
 		if lp.Layer.SkipDX {
-			bwd = runSelectorDWOnly(cfg, opts, lp.Params)
+			bwd = runSelectorDWOnly(cfg, bopts, lp.Params)
 		} else {
-			bwd = runSelectorBackward(cfg, opts, lp.Params, sel(cfg, lp.Params))
+			bwd = runSelectorBackward(cfg, bopts, lp.Params, sel(cfg, lp.Params))
 		}
 		bwd.Name = lp.Layer.Name
 		bwd.Dims = lp.Params.Dims
@@ -51,7 +52,7 @@ func RunTrainingSelector(cfg config.NPU, opts sim.Options, m workload.Model, sel
 func runSelectorBackward(cfg config.NPU, opts sim.Options, p schedule.TileParams, o Order) LayerOutcome {
 	key := layerKeyFor(cfg, p, memoSelectorBwd, opts)
 	key.order = o
-	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+	return memoLayer(key, opts, func() LayerOutcome {
 		sched, chosen := RearrangedWithOrder(cfg, p, o)
 		out := outcomeFromResult(sim.RunSchedules(cfg, opts, sched))
 		out.Order = chosen
@@ -63,7 +64,7 @@ func runSelectorBackward(cfg config.NPU, opts sim.Options, p schedule.TileParams
 func runSelectorDWOnly(cfg config.NPU, opts sim.Options, p schedule.TileParams) LayerOutcome {
 	key := layerKeyFor(cfg, p, memoSelectorBwd, opts)
 	key.skipDX = true
-	return layerMemo.GetOrCompute(key, func() LayerOutcome {
+	return memoLayer(key, opts, func() LayerOutcome {
 		return outcomeFromResult(sim.RunSchedules(cfg, opts, TunedDWOnly(cfg, p)))
 	})
 }

@@ -20,6 +20,10 @@ const (
 	numClasses
 )
 
+// NumClasses counts the tensor classes — the length for fixed-size
+// per-class arrays outside this package (e.g. trace reuse histograms).
+const NumClasses = int(numClasses)
+
 func (c Class) String() string {
 	switch c {
 	case ClassX:

@@ -19,6 +19,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"igosim/internal/trace"
 )
 
 // parallelism holds the worker-pool width; 0 means "use GOMAXPROCS".
@@ -52,9 +55,10 @@ func SetParallelism(n int) int {
 func Map[T, R any](items []T, fn func(T) R) []R {
 	out := make([]R, len(items))
 	workers := min(Parallelism(), len(items))
+	sink := trace.Active() // one atomic load per Map call; nil when tracing is off
 	if workers <= 1 {
 		for i := range items {
-			out[i] = fn(items[i])
+			out[i] = runTask(sink, 0, i, items[i], fn)
 		}
 		return out
 	}
@@ -69,12 +73,24 @@ func Map[T, R any](items []T, fn func(T) R) []R {
 				if i >= len(items) {
 					return
 				}
-				out[i] = fn(items[i])
+				out[i] = runTask(sink, w, i, items[i], fn)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// runTask applies fn to one item, emitting a wall-clock task span on the
+// sink. With tracing off (nil sink) it is a plain call: no time reads.
+func runTask[T, R any](sink *trace.Sink, worker, index int, item T, fn func(T) R) R {
+	if sink == nil {
+		return fn(item)
+	}
+	begin := time.Now()
+	r := fn(item)
+	sink.Task(worker, index, begin, time.Now())
+	return r
 }
 
 // MapErr is Map with failure handling: fn receives a context that is
@@ -84,12 +100,13 @@ func Map[T, R any](items []T, fn func(T) R) []R {
 func MapErr[T, R any](ctx context.Context, items []T, fn func(context.Context, T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
 	workers := min(Parallelism(), len(items))
+	sink := trace.Active()
 	if workers <= 1 {
 		for i := range items {
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			r, err := fn(ctx, items[i])
+			r, err := runTaskErr(sink, 0, i, ctx, items[i], fn)
 			if err != nil {
 				return out, err
 			}
@@ -118,7 +135,7 @@ func MapErr[T, R any](ctx context.Context, items []T, fn func(context.Context, T
 				if i >= len(items) || ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, items[i])
+				r, err := runTaskErr(sink, w, i, ctx, items[i], fn)
 				if err != nil {
 					mu.Lock()
 					if i < errIdx {
@@ -137,4 +154,16 @@ func MapErr[T, R any](ctx context.Context, items []T, fn func(context.Context, T
 		return out, firstErr
 	}
 	return out, parent.Err()
+}
+
+// runTaskErr is runTask for the error-propagating fan-out. Failed tasks
+// still get a span: the trace shows where wall-clock time went either way.
+func runTaskErr[T, R any](sink *trace.Sink, worker, index int, ctx context.Context, item T, fn func(context.Context, T) (R, error)) (R, error) {
+	if sink == nil {
+		return fn(ctx, item)
+	}
+	begin := time.Now()
+	r, err := fn(ctx, item)
+	sink.Task(worker, index, begin, time.Now())
+	return r, err
 }

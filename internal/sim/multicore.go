@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"strconv"
+
 	"igosim/internal/config"
 	"igosim/internal/dram"
 	"igosim/internal/schedule"
 	"igosim/internal/spm"
 	"igosim/internal/systolic"
+	"igosim/internal/trace"
 )
 
 // MultiResult is the outcome of a multi-core simulation.
@@ -21,8 +24,14 @@ type MultiResult struct {
 	SharedHits int64
 }
 
-// Seconds converts the makespan to wall-clock time.
-func (r MultiResult) Seconds(cfg config.NPU) float64 { return float64(r.Cycles) / cfg.FrequencyHz }
+// Seconds converts the makespan to wall-clock time. A configuration without
+// a valid clock (FrequencyHz <= 0) yields 0 rather than +Inf/NaN.
+func (r MultiResult) Seconds(cfg config.NPU) float64 {
+	if cfg.FrequencyHz <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / cfg.FrequencyHz
+}
 
 // corePipe is the per-core pipeline state of the multi-core engine.
 type corePipe struct {
@@ -102,6 +111,43 @@ func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shar
 	pipes := make([]corePipe, cores)
 	var sharedHits int64
 
+	// Tracing: one cycle-domain track per core, plus one per residency set
+	// for occupancy (the scratchpad is a separate component the cores share,
+	// so its samples get their own track). Occupancy timestamps use the
+	// latest DMA completion among the cores using the buffer — the closest
+	// observable proxy for "now" in the round-robin residency merge.
+	var coreTr []*trace.Track
+	if opts.Trace != nil {
+		label := opts.TraceLabel
+		if label == "" {
+			label = "multicore"
+		}
+		coreTr = make([]*trace.Track, cores)
+		for c := range coreTr {
+			coreTr[c] = opts.Trace.NewTrack(label + "/core" + strconv.Itoa(c))
+		}
+		occTS := func(bi int) int64 {
+			if !shared {
+				return pipes[bi].memDone
+			}
+			var ts int64
+			for c := range pipes {
+				ts = max(ts, pipes[c].memDone)
+			}
+			return ts
+		}
+		for bi, b := range bufs {
+			name := label + "/spm"
+			if !shared {
+				name += strconv.Itoa(bi)
+			}
+			st := opts.Trace.NewTrack(name)
+			st.SetCapacity(b.Capacity())
+			bi := bi
+			b.OnChange = func(used int64) { st.Occupancy(occTS(bi), used) }
+		}
+	}
+
 	for pi, streams := range phases {
 		if pi > 0 {
 			for _, b := range bufs {
@@ -109,6 +155,13 @@ func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shar
 			}
 			clear(live)
 			clear(loadedBy)
+		}
+		var phaseStart []int64
+		if coreTr != nil {
+			phaseStart = make([]int64, cores)
+			for c := range pipes {
+				phaseStart[c] = pipes[c].compDone
+			}
 		}
 		next := make([]int, len(streams))
 		// Round-robin merge approximates concurrent execution for residency
@@ -125,10 +178,20 @@ func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shar
 				op := &streams[c][next[c]]
 				next[c]++
 				progressed = true
-				stepShared(op, c, arr, chn, bufFor(c), live, loadedBy, &pipes[c], opts, &sharedHits)
+				var tr *trace.Track
+				if coreTr != nil {
+					tr = coreTr[c]
+				}
+				stepShared(op, c, arr, chn, bufFor(c), live, loadedBy, &pipes[c], opts, &sharedHits, tr)
 			}
 			if !progressed {
 				break
+			}
+		}
+		if coreTr != nil {
+			name := "phase" + strconv.Itoa(pi)
+			for c := range pipes {
+				coreTr[c].Phase(name, phaseStart[c], pipes[c].compDone)
 			}
 		}
 	}
@@ -157,10 +220,11 @@ func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shar
 // shared residency set.
 func stepShared(op *schedule.Op, core int, arr systolic.Array, chn dram.Channel,
 	buf *spm.Buffer[schedule.TileKey], live map[schedule.TileKey]int64,
-	loadedBy map[schedule.TileKey]int, p *corePipe, opts Options, sharedHits *int64) {
+	loadedBy map[schedule.TileKey]int, p *corePipe, opts Options, sharedHits *int64,
+	tr *trace.Track) {
 
-	var fetchBytes, writeBytes int64
-	var bursts int
+	var fetchBytes, writeBytes, spillBytes int64
+	var bursts, spillBursts int
 
 	insert := func(k schedule.TileKey, bytes int64) {
 		for _, victim := range buf.Insert(k, bytes) {
@@ -169,10 +233,11 @@ func stepShared(op *schedule.Op, core int, arr systolic.Array, chn dram.Channel,
 			if !isLive {
 				continue
 			}
-			writeBytes += vb
-			bursts++
+			spillBytes += vb
+			spillBursts++
 			p.res.Traffic.AddWrite(dram.ClassAcc, vb)
 			p.res.Spills++
+			tr.Spill(p.memDone, vb)
 		}
 		loadedBy[k] = core
 	}
@@ -189,8 +254,10 @@ func stepShared(op *schedule.Op, core int, arr systolic.Array, chn dram.Channel,
 		p.res.Traffic.AddRead(dram.ClassAcc, out.Bytes)
 		insert(out.Key, out.Bytes)
 	}
+	tr.Access(out.Key)
 
 	for _, t := range [2]schedule.Tile{op.A, op.B} {
+		tr.Access(t.Key)
 		if buf.Touch(t.Key) {
 			if by, ok := loadedBy[t.Key]; ok && by != core {
 				*sharedHits++
@@ -215,13 +282,19 @@ func stepShared(op *schedule.Op, core int, arr systolic.Array, chn dram.Channel,
 		delete(loadedBy, out.Key)
 	}
 
-	memCycles := chn.TransferCycles(fetchBytes+writeBytes, bursts)
+	memCycles := chn.TransferCycles(fetchBytes+writeBytes+spillBytes, bursts+spillBursts)
 	compCycles := arr.TileCycles(op.Tm, op.Tk, op.Tn)
 
 	memStart := max(p.memDone, p.prevCompEnd)
 	memEnd := memStart + memCycles
 	compStart := max(p.compDone, memEnd)
 	compEnd := compStart + compCycles
+
+	if tr != nil {
+		tr.DMA(memStart, memCycles, fetchBytes, writeBytes, spillBytes, bursts+spillBursts)
+		tr.Compute(op.Kind.String(), compStart, compCycles, op.Tm, op.Tk, op.Tn)
+		tr.Stall(splitStall(chn, compStart-p.compDone, memCycles, spillBytes, spillBursts))
+	}
 
 	p.memDone = memEnd
 	p.prevCompEnd = p.compDone

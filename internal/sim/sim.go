@@ -14,6 +14,7 @@ import (
 	"igosim/internal/schedule"
 	"igosim/internal/spm"
 	"igosim/internal/systolic"
+	"igosim/internal/trace"
 )
 
 // Options tweak engine behaviour for specific studies.
@@ -23,6 +24,17 @@ type Options struct {
 	// ("we eliminate dY reads, assuming the data are hypothetically
 	// available without any external memory access").
 	FreeDYOnDW bool
+
+	// Trace, when non-nil, receives cycle-level events from every engine
+	// built with these options: per-op DMA and compute spans, stall
+	// attribution, SPM occupancy samples and kernel phase spans. nil (the
+	// default) disables tracing at zero cost — results are bit-identical
+	// either way; only observability changes.
+	Trace *trace.Sink
+
+	// TraceLabel names the trace tracks of engines built with these options
+	// (typically "model/layer pass"). Ignored when Trace is nil.
+	TraceLabel string
 }
 
 // Result aggregates the outcome of simulated tile streams.
@@ -44,7 +56,14 @@ type Result struct {
 }
 
 // Seconds converts the makespan to wall-clock time for the configuration.
-func (r Result) Seconds(cfg config.NPU) float64 { return float64(r.Cycles) / cfg.FrequencyHz }
+// A configuration without a valid clock (FrequencyHz <= 0) yields 0 rather
+// than leaking +Inf/NaN into reports.
+func (r Result) Seconds(cfg config.NPU) float64 {
+	if cfg.FrequencyHz <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / cfg.FrequencyHz
+}
 
 // Add merges another result that executed *sequentially after* r.
 func (r *Result) Add(o Result) {
@@ -67,6 +86,7 @@ type Engine struct {
 	buf  *spm.Buffer[schedule.TileKey]
 	live map[schedule.TileKey]int64 // active partial-sum tiles -> bytes
 	opts Options
+	tr   *trace.Track // nil when tracing is disabled
 
 	// pipeline state
 	memDone     int64 // completion time of the DMA stage
@@ -81,7 +101,7 @@ func NewEngine(cfg config.NPU, opts Options) *Engine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg: cfg,
 		arr: systolic.New(cfg),
 		chn: dram.Channel{
@@ -94,6 +114,18 @@ func NewEngine(cfg config.NPU, opts Options) *Engine {
 		live: make(map[schedule.TileKey]int64),
 		opts: opts,
 	}
+	if opts.Trace != nil {
+		label := opts.TraceLabel
+		if label == "" {
+			label = "engine"
+		}
+		e.tr = opts.Trace.NewTrack(label)
+		e.tr.SetCapacity(e.buf.Capacity())
+		// Occupancy is sampled by the scratchpad itself on every residency
+		// mutation, timestamped with the DMA stage's current completion time.
+		e.buf.OnChange = func(used int64) { e.tr.Occupancy(e.memDone, used) }
+	}
+	return e
 }
 
 // Reset clears scratchpad contents, pipeline state and accumulated results.
@@ -130,10 +162,13 @@ func (e *Engine) Run(ops []schedule.Op) {
 	}
 }
 
-// step executes a single tile op through the two-stage pipeline.
+// step executes a single tile op through the two-stage pipeline. Spill
+// write-backs are accounted separately from ordinary fetches and drains so
+// the trace layer can attribute stall cycles to scratchpad pressure; the
+// transfer timing itself depends only on the totals and is unchanged.
 func (e *Engine) step(op *schedule.Op) {
-	var fetchBytes, writeBytes int64
-	var bursts int
+	var fetchBytes, writeBytes, spillBytes int64
+	var bursts, spillBursts int
 
 	// Output (partial-sum) tile handling.
 	out := op.Out
@@ -141,19 +176,21 @@ func (e *Engine) step(op *schedule.Op) {
 		if !op.OutLast {
 			e.live[out.Key] = out.Bytes
 		}
-		e.insert(out.Key, out.Bytes, &writeBytes, &bursts)
+		e.insert(out.Key, out.Bytes, &spillBytes, &spillBursts)
 	} else {
 		if !e.buf.Touch(out.Key) {
 			// The partial was spilled earlier; bring it back.
 			fetchBytes += out.Bytes
 			bursts++
 			e.res.Traffic.AddRead(dram.ClassAcc, out.Bytes)
-			e.insert(out.Key, out.Bytes, &writeBytes, &bursts)
+			e.insert(out.Key, out.Bytes, &spillBytes, &spillBursts)
 		}
 	}
+	e.tr.Access(out.Key)
 
 	// Operand tiles.
 	for _, t := range [2]schedule.Tile{op.A, op.B} {
+		e.tr.Access(t.Key)
 		if e.buf.Touch(t.Key) {
 			continue
 		}
@@ -163,7 +200,7 @@ func (e *Engine) step(op *schedule.Op) {
 			bursts++
 			e.res.Traffic.AddRead(t.Key.Class, t.Bytes)
 		}
-		e.insert(t.Key, t.Bytes, &writeBytes, &bursts)
+		e.insert(t.Key, t.Bytes, &spillBytes, &spillBursts)
 	}
 
 	// Final accumulation: stream the finished output back to DRAM.
@@ -175,7 +212,7 @@ func (e *Engine) step(op *schedule.Op) {
 		delete(e.live, out.Key)
 	}
 
-	memCycles := e.chn.TransferCycles(fetchBytes+writeBytes, bursts)
+	memCycles := e.chn.TransferCycles(fetchBytes+writeBytes+spillBytes, bursts+spillBursts)
 	compCycles := e.arr.TileCycles(op.Tm, op.Tk, op.Tn)
 
 	// Double-buffered pipeline: the DMA may run at most one op ahead of the
@@ -184,6 +221,12 @@ func (e *Engine) step(op *schedule.Op) {
 	memEnd := memStart + memCycles
 	compStart := max(e.compDone, memEnd)
 	compEnd := compStart + compCycles
+
+	if e.tr != nil {
+		e.tr.DMA(memStart, memCycles, fetchBytes, writeBytes, spillBytes, bursts+spillBursts)
+		e.tr.Compute(op.Kind.String(), compStart, compCycles, op.Tm, op.Tk, op.Tn)
+		e.tr.Stall(splitStall(e.chn, compStart-e.compDone, memCycles, spillBytes, spillBursts))
+	}
 
 	e.memDone = memEnd
 	e.prevCompEnd = e.compDone
@@ -194,19 +237,43 @@ func (e *Engine) step(op *schedule.Op) {
 	e.res.Ops++
 }
 
+// splitStall attributes one op's compute-stage stall between ordinary DMA
+// waiting and pressure-spill waiting, proportionally to the spill share of
+// the blocking transfer. The two parts always sum to the stall, keeping the
+// per-track reconciliation exact.
+func splitStall(chn dram.Channel, stall, memCycles, spillBytes int64, spillBursts int) (dma, spill int64) {
+	if stall <= 0 {
+		return 0, 0
+	}
+	if memCycles > 0 && spillBytes > 0 {
+		spillCyc := min(chn.TransferCycles(spillBytes, spillBursts), memCycles)
+		spill = stall * spillCyc / memCycles
+	}
+	return stall - spill, spill
+}
+
 // insert places a tile in the residency set, charging spill writes for any
 // live partial-sum tiles that get evicted.
-func (e *Engine) insert(k schedule.TileKey, bytes int64, writeBytes *int64, bursts *int) {
+func (e *Engine) insert(k schedule.TileKey, bytes int64, spillBytes *int64, spillBursts *int) {
 	for _, victim := range e.buf.Insert(k, bytes) {
 		vb, isLive := e.live[victim]
 		if !isLive {
 			continue // clean operand tile: dropping it is free
 		}
-		*writeBytes += vb
-		*bursts++
+		*spillBytes += vb
+		*spillBursts++
 		e.res.Traffic.AddWrite(dram.ClassAcc, vb)
 		e.res.Spills++
+		e.tr.Spill(e.memDone, vb)
 	}
+}
+
+// RunSchedule executes one named schedule, continuing the pipeline from
+// previous calls, and emits a phase span covering it on the trace track.
+func (e *Engine) RunSchedule(s schedule.Schedule) {
+	start := e.compDone
+	e.Run(s.Ops)
+	e.tr.Phase(s.Name, start, e.compDone)
 }
 
 // RunSchedules is a convenience wrapper: it executes the given schedules in
@@ -219,7 +286,7 @@ func RunSchedules(cfg config.NPU, opts Options, scheds ...schedule.Schedule) Res
 		if i > 0 {
 			e.FlushSPM()
 		}
-		e.Run(s.Ops)
+		e.RunSchedule(s)
 	}
 	return e.Result()
 }

@@ -18,6 +18,12 @@ type Buffer[K comparable] struct {
 
 	// Stats accumulates hit/miss/eviction counts since the last Reset.
 	Stats Stats
+
+	// OnChange, when set, is invoked with the resident byte count after
+	// every mutation (Insert, Remove, Flush) — the trace layer's occupancy
+	// sampling hook. The nil default costs one predictable branch per
+	// mutation and nothing else.
+	OnChange func(used int64)
 }
 
 // Stats counts residency events.
@@ -107,6 +113,9 @@ func (b *Buffer[K]) Insert(k K, bytes int64) []K {
 	b.entries[k] = n
 	b.used += bytes
 	b.pushFront(n)
+	if b.OnChange != nil {
+		b.OnChange(b.used)
+	}
 	return evicted
 }
 
@@ -117,6 +126,9 @@ func (b *Buffer[K]) Remove(k K) bool {
 		return false
 	}
 	b.remove(n)
+	if b.OnChange != nil {
+		b.OnChange(b.used)
+	}
 	return true
 }
 
@@ -127,6 +139,9 @@ func (b *Buffer[K]) Flush() int {
 	b.entries = make(map[K]*node[K])
 	b.head, b.tail = nil, nil
 	b.used = 0
+	if b.OnChange != nil {
+		b.OnChange(0)
+	}
 	return n
 }
 

@@ -172,3 +172,27 @@ func TestEvictionsCountedInStats(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", b.Stats.Evictions)
 	}
 }
+
+func TestOnChangeObservesEveryMutation(t *testing.T) {
+	b := New[int](50)
+	var samples []int64
+	b.OnChange = func(used int64) { samples = append(samples, used) }
+
+	b.Insert(1, 30) // resident: 30
+	b.Insert(2, 20) // resident: 50
+	b.Touch(1)      // recency only: no sample
+	b.Insert(3, 30) // evicts 2 and 1, inserts 3: resident 30
+	b.Remove(3)     // resident: 0
+	b.Insert(4, 10) // resident: 10
+	b.Flush()       // resident: 0
+
+	want := []int64{30, 50, 30, 0, 10, 0}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("sample %d = %d, want %d (all: %v)", i, samples[i], want[i], samples)
+		}
+	}
+}

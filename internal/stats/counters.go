@@ -73,6 +73,17 @@ func NewCacheCounters(name string) *CacheCounters {
 	return c
 }
 
+// ResetAllCacheCounters zeroes every registered cache's hit/miss counters,
+// so hit-rate reports from back-to-back runs don't mix. The cached entries
+// themselves are untouched — only the counters reset.
+func ResetAllCacheCounters() {
+	cacheRegistry.mu.Lock()
+	defer cacheRegistry.mu.Unlock()
+	for _, c := range cacheRegistry.list {
+		c.Reset()
+	}
+}
+
 // CacheReport returns a snapshot of every registered cache, sorted by name.
 func CacheReport() []CacheSnapshot {
 	cacheRegistry.mu.Lock()

@@ -91,3 +91,18 @@ func TestCountersConcurrent(t *testing.T) {
 		t.Fatalf("lost updates: %+v", s)
 	}
 }
+
+func TestResetAllCacheCounters(t *testing.T) {
+	a := NewCacheCounters("test-resetall-a")
+	b := NewCacheCounters("test-resetall-b")
+	a.Hit()
+	a.Miss()
+	b.Miss()
+	ResetAllCacheCounters()
+	if s := a.Snapshot(); s.Lookups() != 0 {
+		t.Fatalf("a not reset: %+v", s)
+	}
+	if s := b.Snapshot(); s.Lookups() != 0 {
+		t.Fatalf("b not reset: %+v", s)
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zeroed: %v", h.String())
+	}
+	for _, v := range []int64{1, 2, 3, 4, 100, 0} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d, want 0/100", h.Min(), h.Max())
+	}
+	wantMean := (1 + 2 + 3 + 4 + 100.0) / 6
+	if m := h.Mean(); m != wantMean {
+		t.Fatalf("mean = %g, want %g", m, wantMean)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(1) // bucket 1: <=1
+	h.Add(2) // bucket 2: <=3
+	h.Add(3)
+	h.Add(7)   // bucket 3: <=7
+	h.Add(128) // bucket 8: <=255
+	s := h.String()
+	for _, want := range []string{"<=1:1", "<=3:2", "<=7:1", "<=255:1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	// The median of 1..100 falls in bucket <=63; p100 clamps to max.
+	if q := h.Quantile(0.5); q != 63 {
+		t.Fatalf("p50 = %d, want 63", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %d, want 100 (clamped to max)", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %d, want 1", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(5)
+	a.Add(9)
+	b.Add(1)
+	b.Add(1000)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Min() != 1 || a.Max() != 1000 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 4 {
+		t.Fatalf("merging empty changed count: %d", a.Count())
+	}
+	empty.Merge(&a)
+	if empty.Count() != 4 || empty.Min() != 1 || empty.Max() != 1000 {
+		t.Fatalf("merge into empty wrong: %s", empty.String())
+	}
+}

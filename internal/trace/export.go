@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Thread ids within one engine track's process. Fixed small integers so
+// trace viewers lay the rows out in a stable order.
+const (
+	tidCompute = 1 // systolic-array spans
+	tidDMA     = 2 // transfer spans + spill instants
+	tidSPM     = 3 // occupancy counter
+	tidPhase   = 4 // kernel/GEMM phase spans
+)
+
+// WriteJSON renders the sink as Chrome trace-event JSON (the
+// "JSON Array Format" with a traceEvents wrapper object), loadable in
+// Perfetto and chrome://tracing. Engine tracks use the cycle domain (1 "us"
+// == 1 core cycle); the global pid-0 track holds wall-clock runner events
+// in real microseconds. Output is deterministic: tracks appear in creation
+// order, events in emission order.
+//
+// Call only after the traced simulations have finished.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Global wall-clock process.
+	emit(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"runner (wall clock)"}}`)
+	for _, ev := range s.wall {
+		switch ev.kind {
+		case wallTask:
+			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"name":"task","args":{"index":%d}}`,
+				ev.tid, ev.ts, ev.dur, ev.index)
+		case wallMemoHit:
+			emit(`{"ph":"i","pid":0,"tid":0,"ts":%d,"s":"p","name":"memo-hit","args":{"key":%s}}`,
+				ev.ts, strconv.Quote(ev.name))
+		}
+	}
+
+	// Engine tracks: one "process" per track, cycle domain.
+	for _, t := range s.tracks {
+		emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			t.pid, strconv.Quote(t.name))
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"compute"}}`, t.pid, tidCompute)
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"dma"}}`, t.pid, tidDMA)
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"spm"}}`, t.pid, tidSPM)
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"phases"}}`, t.pid, tidPhase)
+		for i := range t.events {
+			ev := &t.events[i]
+			switch ev.kind {
+			case evCompute:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"tm":%d,"tk":%d,"tn":%d}}`,
+					t.pid, tidCompute, ev.ts, ev.dur, strconv.Quote(ev.name),
+					ev.args[0], ev.args[1], ev.args[2])
+			case evDMA:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":"xfer","args":{"fetchB":%d,"writeB":%d,"spillB":%d,"bursts":%d}}`,
+					t.pid, tidDMA, ev.ts, ev.dur,
+					ev.args[0], ev.args[1], ev.args[2], ev.args[3])
+			case evSpill:
+				emit(`{"ph":"i","pid":%d,"tid":%d,"ts":%d,"s":"t","name":"spill","args":{"bytes":%d}}`,
+					t.pid, tidDMA, ev.ts, ev.args[0])
+			case evOcc:
+				emit(`{"ph":"C","pid":%d,"tid":%d,"ts":%d,"name":"spm-used","args":{"bytes":%d}}`,
+					t.pid, tidSPM, ev.ts, ev.args[0])
+			case evPhase:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{}}`,
+					t.pid, tidPhase, ev.ts, ev.dur, strconv.Quote(ev.name))
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// StartCLI wires the CLIs' -trace/-report flags: when either asks for
+// output it installs a fresh process-wide sink and returns a stop function
+// that uninstalls it, validates the collected events and exports them (JSON
+// to jsonPath, text report to stdout). With both flags off it is a no-op
+// that leaves tracing disabled.
+func StartCLI(jsonPath string, report bool) (stop func() error) {
+	if jsonPath == "" && !report {
+		return func() error { return nil }
+	}
+	sink := New()
+	SetActive(sink)
+	return func() error {
+		SetActive(nil)
+		if err := sink.Check(); err != nil {
+			return err
+		}
+		var rw io.Writer
+		if report {
+			rw = os.Stdout
+		}
+		return sink.Export(jsonPath, rw)
+	}
+}
+
+// Export is the CLI convenience wrapper: it writes the trace JSON to
+// jsonPath (when non-empty) and the derived text report to report (when
+// non-nil). A nil sink writes nothing and returns nil.
+func (s *Sink) Export(jsonPath string, report io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if report != nil {
+		if _, err := io.WriteString(report, s.Metrics().Report()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/tensor"
+	"igosim/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// goldenCfg shrinks the scratchpad below the golden layer's working set so
+// the recorded trace exercises every event kind: DMA and compute spans,
+// occupancy samples, phase spans, and pressure-spill instants.
+func goldenCfg() config.NPU {
+	cfg := tinyCfg()
+	cfg.Name = "golden"
+	cfg.SPMBytes = 4 << 10
+	return cfg
+}
+
+// TestGoldenTraceJSON locks the Chrome trace-event export byte-for-byte on
+// a tiny layer under both access orders. Engine events live purely in the
+// deterministic cycle domain, so the export must never drift unless the
+// engine's timing model or the exporter changes — in which case regenerate
+// with `go test ./internal/trace -run Golden -update` and review the diff.
+func TestGoldenTraceJSON(t *testing.T) {
+	cfg := goldenCfg()
+	p := core.LayerParams(tensor.Dims{M: 32, K: 32, N: 32}, 1, cfg)
+	for _, tc := range []struct {
+		name  string
+		build func(schedule.TileParams) schedule.Schedule
+	}{
+		{"dxmajor", core.InterleaveDXMajor},
+		{"dwmajor", core.InterleaveDWMajor},
+	} {
+		sink := trace.New()
+		res := sim.RunSchedules(cfg, sim.Options{Trace: sink, TraceLabel: "golden/" + tc.name}, tc.build(p))
+		if err := sink.Check(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Spills == 0 {
+			t.Fatalf("%s: golden workload no longer spills — shrink goldenCfg's SPM so the trace keeps covering spill events", tc.name)
+		}
+		var buf bytes.Buffer
+		if err := sink.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		path := filepath.Join("testdata", "trace_"+tc.name+".golden.json")
+		if *update {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (regenerate with -update): %v", tc.name, err)
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("%s: trace JSON drifted from %s (regenerate with -update and review)", tc.name, path)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package trace is the simulator's cycle-level observability layer: a
+// zero-overhead-when-disabled event sink that the engine (internal/sim),
+// the scratchpad (internal/spm), the schedule executors (internal/core) and
+// the parallel runner (internal/runner) emit into.
+//
+// Two time domains coexist in one sink:
+//
+//   - engine tracks record *simulated* events — DMA and compute spans per
+//     tile op, kernel phase spans, SPM occupancy samples — with timestamps
+//     in core cycles;
+//   - the sink's global track records *wall-clock* events — runner task
+//     spans and memo-hit instants — with timestamps in microseconds since
+//     the sink was created.
+//
+// The collected events export as Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing, see export.go) and reduce to a text report
+// of stall attribution, occupancy high-water marks and per-tensor-class
+// reuse distances (see metrics.go).
+//
+// # Overhead contract
+//
+// Tracing is *disabled* when the sink (or a track) pointer is nil. Every
+// method on Sink and Track is nil-receiver safe and returns immediately in
+// that case, so instrumented hot paths call unconditionally and pay one
+// predictable branch — no allocations, no locks, no time reads. The
+// contract is enforced by TestDisabledPathZeroAllocs (make trace-check).
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/stats"
+)
+
+// active is the process-wide sink consulted by the runner and by the core
+// entry points when no sink was passed explicitly. nil means disabled.
+var active atomic.Pointer[Sink]
+
+// SetActive installs s as the process-wide active sink and returns the
+// previous one. Pass nil to disable tracing.
+func SetActive(s *Sink) *Sink {
+	prev := active.Load()
+	active.Store(s)
+	return prev
+}
+
+// Active returns the process-wide active sink (nil when tracing is off).
+func Active() *Sink { return active.Load() }
+
+// Sink collects trace events for one run. Construct with New; a nil *Sink
+// is the disabled tracer. Tracks hand out single-writer event buffers, so
+// concurrent engines never contend; the sink's own mutex guards only track
+// registration and the low-frequency wall-clock events.
+type Sink struct {
+	start time.Time
+
+	mu      sync.Mutex
+	nextPID int64
+	tracks  []*Track
+	wall    []wallEvent
+}
+
+// New creates an empty sink. The wall-clock origin of runner-task events is
+// the moment of creation.
+func New() *Sink {
+	return &Sink{start: time.Now(), nextPID: 1}
+}
+
+// Enabled reports whether the sink collects events.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// wallEvent is one wall-clock-domain event on the sink's global track.
+type wallEvent struct {
+	kind    wallKind
+	name    string
+	tid     int64 // worker id for task spans
+	ts, dur int64 // microseconds since sink start
+	index   int64 // task index for task spans
+}
+
+type wallKind uint8
+
+const (
+	wallTask wallKind = iota
+	wallMemoHit
+)
+
+// Task records one runner task span: worker executed item index from start
+// to end (wall clock). Safe for concurrent use.
+func (s *Sink) Task(worker, index int, begin, end time.Time) {
+	if s == nil {
+		return
+	}
+	ev := wallEvent{
+		kind:  wallTask,
+		name:  "task",
+		tid:   int64(worker + 1),
+		ts:    begin.Sub(s.start).Microseconds(),
+		dur:   end.Sub(begin).Microseconds(),
+		index: int64(index),
+	}
+	s.mu.Lock()
+	s.wall = append(s.wall, ev)
+	s.mu.Unlock()
+}
+
+// MemoHit records that a memoization cache served a simulation result
+// instead of re-executing it (the span the trace would otherwise show).
+// label names what was served (typically "model/layer").
+func (s *Sink) MemoHit(cache, label string) {
+	if s == nil {
+		return
+	}
+	ev := wallEvent{
+		kind: wallMemoHit,
+		name: cache + ":" + label,
+		ts:   time.Since(s.start).Microseconds(),
+	}
+	s.mu.Lock()
+	s.wall = append(s.wall, ev)
+	s.mu.Unlock()
+}
+
+// evKind discriminates cycle-domain events within a track.
+type evKind uint8
+
+const (
+	evCompute evKind = iota // systolic-array span; args: tm, tk, tn
+	evDMA                   // transfer span; args: fetchB, writeB, spillB, bursts
+	evSpill                 // pressure-spill instant; args: bytes
+	evOcc                   // SPM occupancy counter; args: used bytes
+	evPhase                 // kernel/GEMM phase span
+)
+
+// event is one cycle-domain event. name is always a pre-existing string
+// (op-kind or schedule name), so emission never formats.
+type event struct {
+	kind    evKind
+	name    string
+	ts, dur int64
+	args    [4]int64
+}
+
+// Track is a single-writer event stream for one simulated engine core (or
+// one shared scratchpad). It doubles as the metrics accumulator: stall
+// attribution, occupancy high-water mark and reuse-distance histograms are
+// folded in at emission time so the report needs no event replay.
+type Track struct {
+	pid  int64
+	name string
+
+	events []event
+
+	// Cycle-domain metrics.
+	cycles      int64 // final compute completion (the track's makespan)
+	computeBusy int64
+	stallDMA    int64
+	stallSpill  int64
+	spills      int64
+	spillBytes  int64
+	ops         int64
+	occHWM      int64
+	occCap      int64
+	lastOcc     int64
+
+	// Reuse-distance bookkeeping: distance = tile accesses between
+	// successive touches of the same tile key, per tensor class.
+	accIdx     int64
+	last       map[schedule.TileKey]int64
+	reuse      [dram.NumClasses]stats.Histogram
+	firstTouch int64
+}
+
+// classList fixes the tensor-class order of the reuse histograms.
+var classList = dram.Classes()
+
+// NewTrack registers a new engine track named name (shown as the process
+// name in trace viewers). Returns nil — the disabled track — when s is nil.
+func (s *Sink) NewTrack(name string) *Track {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	t := &Track{
+		pid:  s.nextPID,
+		name: name,
+		last: make(map[schedule.TileKey]int64),
+	}
+	s.nextPID++
+	s.tracks = append(s.tracks, t)
+	s.mu.Unlock()
+	return t
+}
+
+// SetCapacity records the byte capacity behind the track's occupancy
+// samples (for high-water-mark reporting).
+func (t *Track) SetCapacity(capacity int64) {
+	if t == nil {
+		return
+	}
+	t.occCap = capacity
+}
+
+// Compute emits a systolic-array span for one tile op of the given kind
+// (schedule.Kind.String(), a constant) and advances the track makespan.
+func (t *Track) Compute(kind string, start, dur int64, tm, tk, tn int) {
+	if t == nil {
+		return
+	}
+	t.ops++
+	t.computeBusy += dur
+	if end := start + dur; end > t.cycles {
+		t.cycles = end
+	}
+	t.events = append(t.events, event{
+		kind: evCompute, name: kind, ts: start, dur: dur,
+		args: [4]int64{int64(tm), int64(tk), int64(tn)},
+	})
+}
+
+// DMA emits a transfer span covering the op's fetches, write-backs and
+// pressure spills. Zero-length transfers (fully resident ops) are elided.
+func (t *Track) DMA(start, dur, fetchBytes, writeBytes, spillBytes int64, bursts int) {
+	if t == nil || (dur == 0 && fetchBytes+writeBytes+spillBytes == 0) {
+		return
+	}
+	t.events = append(t.events, event{
+		kind: evDMA, name: "xfer", ts: start, dur: dur,
+		args: [4]int64{fetchBytes, writeBytes, spillBytes, int64(bursts)},
+	})
+}
+
+// Stall attributes the compute stage's wait before one op: dma cycles spent
+// waiting on ordinary transfers, spill cycles waiting on pressure-spill
+// write-backs. Per track, computeBusy + stallDMA + stallSpill always equals
+// the track makespan — the reconciliation invariant the report and tests
+// rely on.
+func (t *Track) Stall(dma, spill int64) {
+	if t == nil {
+		return
+	}
+	t.stallDMA += dma
+	t.stallSpill += spill
+}
+
+// Spill emits a pressure-spill instant: a live partial-sum tile of the
+// given size was pushed to DRAM by scratchpad pressure.
+func (t *Track) Spill(ts, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.spills++
+	t.spillBytes += bytes
+	t.events = append(t.events, event{kind: evSpill, name: "spill", ts: ts, args: [4]int64{bytes}})
+}
+
+// Occupancy emits an SPM occupancy counter sample, deduplicated by value.
+func (t *Track) Occupancy(ts, used int64) {
+	if t == nil {
+		return
+	}
+	if used > t.occHWM {
+		t.occHWM = used
+	}
+	if used == t.lastOcc && len(t.events) > 0 {
+		return
+	}
+	t.lastOcc = used
+	t.events = append(t.events, event{kind: evOcc, name: "spm-used", ts: ts, args: [4]int64{used}})
+}
+
+// Access records one tile access for reuse-distance accounting. No event is
+// emitted; re-touches land in the class's histogram with the distance (in
+// tile accesses) since the previous touch of the same key.
+func (t *Track) Access(k schedule.TileKey) {
+	if t == nil {
+		return
+	}
+	idx := t.accIdx
+	t.accIdx++
+	if prev, ok := t.last[k]; ok {
+		c := int(k.Class)
+		if c < len(t.reuse) {
+			t.reuse[c].Add(idx - prev)
+		}
+	} else {
+		t.firstTouch++
+	}
+	t.last[k] = idx
+}
+
+// Phase emits a kernel/GEMM phase span (for example "interleave+dXmajor" or
+// "baseline-sequential") covering [start, end) cycles.
+func (t *Track) Phase(name string, start, end int64) {
+	if t == nil || end <= start {
+		return
+	}
+	t.events = append(t.events, event{kind: evPhase, name: name, ts: start, dur: end - start})
+}

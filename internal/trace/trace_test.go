@@ -1,0 +1,290 @@
+// Tests live in trace_test because they drive the real engine (internal/sim
+// imports trace, so an internal test package would cycle).
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/dram"
+	"igosim/internal/runner"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/tensor"
+	"igosim/internal/trace"
+)
+
+// tinyCfg mirrors the scaled-down NPU the core tests use: small enough that
+// a layer simulates in microseconds, small enough SPM that eviction and
+// spill paths actually fire.
+func tinyCfg() config.NPU {
+	return config.NPU{
+		Name: "tiny", ArrayRows: 8, ArrayCols: 8, Cores: 1,
+		SPMBytes: 32 << 10, DRAMBandwidth: 8e9, DRAMLatency: 10,
+		FrequencyHz: 1e9, ElemBytes: 4, Batch: 2,
+	}
+}
+
+// TestDisabledPathZeroAllocs enforces the package's overhead contract: with
+// tracing disabled (nil sink / nil track) every emission method must return
+// without allocating. This is the `make trace-check` gate.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var s *trace.Sink
+	var tr *trace.Track
+	key := schedule.TileKey{Class: dram.ClassDY}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if s.Enabled() {
+			t.Fatal("nil sink reports enabled")
+		}
+		if got := s.NewTrack("x"); got != nil {
+			t.Fatal("nil sink built a track")
+		}
+		tr.SetCapacity(1 << 20)
+		tr.Compute("dx", 0, 5, 8, 8, 8)
+		tr.DMA(0, 3, 256, 0, 0, 1)
+		tr.Stall(2, 1)
+		tr.Spill(0, 256)
+		tr.Occupancy(0, 512)
+		tr.Access(key)
+		tr.Phase("kernel", 0, 5)
+		s.Task(0, 0, time.Time{}, time.Time{})
+		s.MemoHit("cache", "label")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace path allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTracingDoesNotChangeResults is the bit-identity half of the overhead
+// contract: the traced and untraced simulations must produce equal results.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	cfg := tinyCfg()
+	p := core.LayerParams(tensor.Dims{M: 64, K: 48, N: 32}, 1, cfg)
+	for _, sched := range []schedule.Schedule{
+		core.InterleaveDXMajor(p),
+		core.InterleaveDWMajor(p),
+		core.InterleaveOnly(p),
+	} {
+		plain := sim.RunSchedules(cfg, sim.Options{}, sched)
+		traced := sim.RunSchedules(cfg, sim.Options{Trace: trace.New(), TraceLabel: "t"}, sched)
+		if plain != traced {
+			t.Fatalf("%s: traced result differs:\nplain  %+v\ntraced %+v", sched.Name, plain, traced)
+		}
+	}
+}
+
+// TestReconciliation checks the headline invariant: the trace's stall
+// attribution must account for every simulated cycle of the engine result —
+// computeBusy + stallDMA + stallSpill == Result.Cycles, per track and in
+// aggregate.
+func TestReconciliation(t *testing.T) {
+	cfg := tinyCfg()
+	for _, d := range []tensor.Dims{
+		{M: 64, K: 48, N: 32},
+		{M: 16, K: 128, N: 16},
+		{M: 128, K: 16, N: 96},
+	} {
+		p := core.LayerParams(d, 1, cfg)
+		for _, sched := range []schedule.Schedule{
+			core.InterleaveDXMajor(p),
+			core.InterleaveDWMajor(p),
+		} {
+			sink := trace.New()
+			res := sim.RunSchedules(cfg, sim.Options{Trace: sink, TraceLabel: "recon"}, sched)
+			if err := sink.Check(); err != nil {
+				t.Fatalf("%v %s: %v", d, sched.Name, err)
+			}
+			m := sink.Metrics()
+			if got := m.ComputeBusy + m.StallDMA + m.StallSpill; got != res.Cycles {
+				t.Fatalf("%v %s: attribution %d != makespan %d", d, sched.Name, got, res.Cycles)
+			}
+			if m.Cycles != res.Cycles {
+				t.Fatalf("%v %s: trace makespan %d != result %d", d, sched.Name, m.Cycles, res.Cycles)
+			}
+			if m.Ops != res.Ops {
+				t.Fatalf("%v %s: trace ops %d != result %d", d, sched.Name, m.Ops, res.Ops)
+			}
+			if m.Spills != res.Spills {
+				t.Fatalf("%v %s: trace spills %d != result %d", d, sched.Name, m.Spills, res.Spills)
+			}
+			if m.OccHWM <= 0 || m.OccHWM > m.OccCap {
+				t.Fatalf("%v %s: occupancy HWM %d outside (0, %d]", d, sched.Name, m.OccHWM, m.OccCap)
+			}
+		}
+	}
+}
+
+// TestMultiCoreTraceReconciles exercises the shared-SPM multi-core path:
+// per-core tracks plus one scratchpad occupancy track, each reconciling.
+func TestMultiCoreTraceReconciles(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Cores = 2
+	p := core.LayerParams(tensor.Dims{M: 64, K: 48, N: 32}, 1, cfg)
+	a := core.InterleaveDXMajor(p)
+	sink := trace.New()
+	mr := sim.RunMulti(cfg, sim.Options{Trace: sink, TraceLabel: "mc"}, [][]schedule.Op{a.Ops, a.Ops})
+	if err := sink.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m := sink.Metrics()
+	if m.Tracks != 3 { // core0, core1, shared spm
+		t.Fatalf("tracks = %d, want 3", m.Tracks)
+	}
+	var perCore int64
+	for _, r := range mr.PerCore {
+		perCore += r.Cycles
+	}
+	if got := m.ComputeBusy + m.StallDMA + m.StallSpill; got != perCore {
+		t.Fatalf("attribution %d != summed per-core makespans %d", got, perCore)
+	}
+	if m.OccHWM <= 0 || m.OccCap != cfg.TotalSPMBytes()/2 {
+		t.Fatalf("shared SPM occupancy HWM %d / cap %d", m.OccHWM, m.OccCap)
+	}
+}
+
+// TestMemoHitEmitted verifies that a layer simulation served from the memo
+// cache records a memo-hit wall event instead of engine spans.
+func TestMemoHitEmitted(t *testing.T) {
+	cfg := tinyCfg()
+	core.ResetCaches()
+	p := core.LayerParams(tensor.Dims{M: 48, K: 32, N: 48}, 7, cfg)
+	sink := trace.New()
+	opts := sim.Options{Trace: sink, TraceLabel: "memo-test"}
+	core.RunBackwardOrder(cfg, opts, p, core.DXMajor) // cold: simulates, no hit
+	if hits := sink.Metrics().MemoHits; hits != 0 {
+		t.Fatalf("cold run recorded %d memo hits", hits)
+	}
+	core.RunBackwardOrder(cfg, opts, p, core.DXMajor) // warm: served
+	if hits := sink.Metrics().MemoHits; hits != 1 {
+		t.Fatalf("warm run recorded %d memo hits, want 1", hits)
+	}
+}
+
+// TestParallelRunnerTrace drives traced simulations through the parallel
+// runner the way the CLIs do (process-wide active sink, worker fan-out) and
+// demands a complete, well-formed trace: runner task spans for every item,
+// every engine track reconciled, and the JSON export parseable. Run under
+// -race (make ci) this doubles as the concurrency-safety proof.
+func TestParallelRunnerTrace(t *testing.T) {
+	cfg := tinyCfg()
+	sink := trace.New()
+	prevSink := trace.SetActive(sink)
+	defer trace.SetActive(prevSink)
+	prevPar := runner.SetParallelism(8)
+	defer runner.SetParallelism(prevPar)
+
+	dims := make([]tensor.Dims, 24)
+	for i := range dims {
+		dims[i] = tensor.Dims{M: 32 + 8*(i%5), K: 32 + 8*(i%3), N: 32 + 8*(i%7)}
+	}
+	results := runner.Map(dims, func(d tensor.Dims) sim.Result {
+		p := core.LayerParams(d, 1, cfg)
+		return sim.RunSchedules(cfg,
+			sim.Options{Trace: trace.Active(), TraceLabel: "par"},
+			core.InterleaveDXMajor(p))
+	})
+	trace.SetActive(prevSink)
+
+	if err := sink.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m := sink.Metrics()
+	if m.Tasks != int64(len(dims)) {
+		t.Fatalf("task spans = %d, want %d", m.Tasks, len(dims))
+	}
+	if m.Tracks != len(dims) {
+		t.Fatalf("engine tracks = %d, want %d", m.Tracks, len(dims))
+	}
+	var want int64
+	for _, r := range results {
+		want += r.Cycles
+	}
+	if m.Cycles != want {
+		t.Fatalf("trace cycles %d != summed results %d", m.Cycles, want)
+	}
+
+	var buf bytes.Buffer
+	if err := sink.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace is empty")
+	}
+	for _, ev := range doc.TraceEvents {
+		if _, ok := ev["ph"].(string); !ok {
+			t.Fatalf("event without phase: %v", ev)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event without name: %v", ev)
+		}
+	}
+}
+
+// TestNilSinkExport confirms the disabled exporters still emit valid output.
+func TestNilSinkExport(t *testing.T) {
+	var s *trace.Sink
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Export("", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Tracks != 0 || m.Cycles != 0 {
+		t.Fatalf("nil sink metrics not zero: %+v", m)
+	}
+}
+
+// TestReportRenders sanity-checks the text report against a traced run.
+func TestReportRenders(t *testing.T) {
+	cfg := tinyCfg()
+	p := core.LayerParams(tensor.Dims{M: 64, K: 48, N: 32}, 1, cfg)
+	sink := trace.New()
+	sim.RunSchedules(cfg, sim.Options{Trace: sink, TraceLabel: "report"}, core.InterleaveDXMajor(p))
+	rep := sink.Metrics().Report()
+	for _, want := range []string{
+		"=== trace report ===",
+		"compute-busy",
+		"dma-stall",
+		"spill-stall",
+		"SPM occupancy high-water",
+		"reuse distance",
+	} {
+		if !bytes.Contains([]byte(rep), []byte(want)) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// BenchmarkDisabledTraceCalls measures the per-op cost of the nil-receiver
+// fast path (should be a handful of predicted branches).
+func BenchmarkDisabledTraceCalls(b *testing.B) {
+	var tr *trace.Track
+	key := schedule.TileKey{Class: dram.ClassDY}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.DMA(0, 3, 256, 0, 0, 1)
+		tr.Compute("dx", 0, 5, 8, 8, 8)
+		tr.Stall(2, 1)
+		tr.Access(key)
+		tr.Occupancy(0, 512)
+	}
+}
