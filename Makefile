@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet ci golden trace-check
+.PHONY: build test race bench vet lint ci golden trace-check
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,15 @@ bench:
 trace-check:
 	$(GO) test ./internal/trace/ -run 'TestDisabledPathZeroAllocs|TestTracingDoesNotChangeResults|TestGoldenTraceJSON' -count=1
 
-ci: vet build race bench trace-check
+# Project-specific static analysis (see DESIGN.md §3e): determinism and
+# zero-overhead invariants checked at compile time by cmd/igolint. Part of
+# `make ci` but deliberately not of tier-1 (`go build && go test`) so a new
+# analyzer can land stricter than the tree without breaking the build; the
+# analyzers' own unit tests still run under plain `go test ./...`.
+lint:
+	$(GO) run ./cmd/igolint ./...
+
+ci: vet build race bench trace-check lint
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))
-		trials = flag.Int("trials", experiments.DefaultKNNTrials, "KNN study repetitions")
-		csv    = flag.Bool("csv", false, "emit tables as CSV")
+		fig      = flag.String("fig", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))
+		trials   = flag.Int("trials", experiments.DefaultKNNTrials, "KNN study repetitions")
+		seed     = flag.Int64("knn-seed", experiments.DefaultKNNSeed, "KNN study split-shuffle seed")
+		csv      = flag.Bool("csv", false, "emit tables as CSV")
 		timing   = flag.Bool("time", false, "print wall-clock time per experiment")
 		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
@@ -54,7 +55,7 @@ func main() {
 		var rep experiments.Report
 		var err error
 		if strings.EqualFold(id, "knn") || strings.EqualFold(id, "sec5") {
-			rep = experiments.KNNSelection(*trials)
+			rep = experiments.KNNSelectionSeeded(*trials, *seed)
 		} else {
 			rep, err = experiments.ByID(id)
 			if err != nil {

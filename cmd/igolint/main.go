@@ -1,0 +1,173 @@
+// Command igolint runs the repo's custom static-analysis suite (see
+// internal/lint and DESIGN.md §3e) over the module. It is the compile-time
+// complement to `make golden`: the analyzers prove determinism and
+// zero-overhead invariants on every path, not just the exercised ones.
+//
+// Usage:
+//
+//	igolint [-list] [pattern ...]
+//
+// Patterns are package directories relative to the module root, or the
+// literal "./..." (the default) for the whole module. Test files are not
+// analyzed: the invariants govern shipping code. Diagnostics print as
+// file:line:col: message (analyzer); the exit status is 1 when any
+// diagnostic survives marker suppression, 2 on load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"igosim/internal/lint"
+	"igosim/internal/lint/analysis"
+	"igosim/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := loader.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := packagePaths(root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	l := loader.New(loader.Root{Prefix: "igosim", Dir: root})
+	var findings []analysis.Finding
+	failed := false
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "igolint: %v\n", err)
+			failed = true
+			continue
+		}
+		fs, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "igolint: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		findings = append(findings, fs...)
+	}
+	if failed {
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// packagePaths expands the command-line patterns into module import paths.
+func packagePaths(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := walkPackages(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+		default:
+			dir := strings.TrimSuffix(filepath.ToSlash(filepath.Clean(arg)), "/")
+			dir = strings.TrimPrefix(dir, "./")
+			abs := filepath.Join(root, filepath.FromSlash(dir))
+			if !hasGoFiles(abs) {
+				return nil, fmt.Errorf("igolint: no Go files in %s", arg)
+			}
+			add(pathJoin("igosim", dir))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkPackages lists every module directory containing non-test Go files.
+func walkPackages(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "results") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			out = append(out, pathJoin("igosim", filepath.ToSlash(rel)))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// hasGoFiles reports whether dir has at least one non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func pathJoin(mod, rel string) string {
+	if rel == "." || rel == "" {
+		return mod
+	}
+	return mod + "/" + rel
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "igolint: %v\n", err)
+	os.Exit(2)
+}

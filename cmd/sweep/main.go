@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -83,7 +84,7 @@ func main() {
 	}
 	results, err := runner.MapErr(context.Background(), grid, func(_ context.Context, p point) (result, error) {
 		cfg := config.LargeNPU().WithCores(int(p.nc)).WithBandwidth(p.bw * 1e9)
-		cfg.SPMBytes = int64(p.spm * float64(1<<20))
+		cfg.SPMBytes = int64(math.Round(p.spm * float64(1<<20)))
 		cfg.Name = fmt.Sprintf("sweep-%gc-%gGB-%gMiB", p.nc, p.bw, p.spm)
 		if err := cfg.Validate(); err != nil {
 			return result{}, err

@@ -1,8 +1,11 @@
 // Package knn implements the K-nearest-neighbours classifier the paper uses
 // to select a data-partitioning scheme per layer (Section 5). Features are
 // z-score normalised; prediction is a majority vote over the K nearest
-// training samples by Euclidean distance, with ties broken by the nearer
-// neighbourhood.
+// training samples by Euclidean distance. All ties break deterministically
+// toward the lowest label: equal distances prefer the lower label when
+// choosing the neighbourhood, and equal vote counts prefer the lower label
+// when choosing the winner, so a prediction never depends on sort
+// instability or map iteration order.
 package knn
 
 import (
@@ -108,17 +111,29 @@ func (c *Classifier) Predict(features []float64) int {
 		}
 		hits[i] = hit{dist: d, label: s.Label}
 	}
-	sort.Slice(hits, func(a, b int) bool { return hits[a].dist < hits[b].dist })
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].dist != hits[b].dist {
+			return hits[a].dist < hits[b].dist
+		}
+		return hits[a].label < hits[b].label
+	})
 
 	votes := make(map[int]int)
-	best, bestVotes := hits[0].label, 0
 	for i := 0; i < c.k; i++ {
 		votes[hits[i].label]++
-		// Ties resolve to the label that reached the count first, i.e. the
-		// label with the nearer neighbourhood.
-		if votes[hits[i].label] > bestVotes {
-			bestVotes = votes[hits[i].label]
-			best = hits[i].label
+	}
+	// Majority vote with ties broken by lowest label: scanning labels in
+	// ascending order and requiring strictly more votes to displace the
+	// leader makes the winner independent of map iteration order.
+	labels := make([]int, 0, len(votes))
+	for label := range votes {
+		labels = append(labels, label)
+	}
+	sort.Ints(labels)
+	best := labels[0]
+	for _, label := range labels[1:] {
+		if votes[label] > votes[best] {
+			best = label
 		}
 	}
 	return best

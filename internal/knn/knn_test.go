@@ -119,6 +119,43 @@ func TestK1MemorisesTrainingSet(t *testing.T) {
 	}
 }
 
+func TestTieBreaksToLowestLabel(t *testing.T) {
+	// Two labels, equidistant neighbourhoods, k=2: one vote each. The
+	// majority vote must break the tie to the lowest label no matter how
+	// the training set is ordered.
+	forward := []Sample{
+		{Features: []float64{-1, 0}, Label: 2},
+		{Features: []float64{1, 0}, Label: 5},
+	}
+	reversed := []Sample{forward[1], forward[0]}
+	for name, samples := range map[string][]Sample{"forward": forward, "reversed": reversed} {
+		c, err := Train(samples, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Predict([]float64{0, 0}); got != 2 {
+			t.Fatalf("%s order: tie predicted label %d, want lowest label 2", name, got)
+		}
+	}
+
+	// Equal distances at the neighbourhood boundary must also resolve by
+	// label, not sort instability: four points at distance 1, k=2.
+	ring := []Sample{
+		{Features: []float64{0, 1}, Label: 9},
+		{Features: []float64{0, -1}, Label: 4},
+		{Features: []float64{1, 0}, Label: 7},
+		{Features: []float64{-1, 0}, Label: 1},
+	}
+	c, err := Train(ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbourhood = labels {1, 4}; one vote each; winner must be 1.
+	if got := c.Predict([]float64{0, 0}); got != 1 {
+		t.Fatalf("boundary tie predicted %d, want 1", got)
+	}
+}
+
 func TestPredictReturnsTrainingLabel(t *testing.T) {
 	f := func(seed int64, k uint8) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,161 @@
+// Package analysis is a self-contained miniature of golang.org/x/tools'
+// go/analysis framework: an Analyzer runs over one type-checked package and
+// reports position-tagged diagnostics. The repo vendors no third-party
+// code, so igolint's analyzers build against this stdlib-only mirror; the
+// API intentionally matches go/analysis closely enough that migrating to
+// the real framework is a mechanical import swap.
+//
+// # Marker suppression
+//
+// A diagnostic is suppressed when the flagged line — or the line directly
+// above it — carries a `//lint:<analyzer>` marker comment (for example
+// `//lint:wallclock runner task spans are wall-clock by design`). Analyzers
+// that guard hard invariants can set Diagnostic.Unsuppressable to make a
+// finding immune to markers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in `//lint:<name>`
+	// suppression markers. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by `igolint -list`.
+	Doc string
+
+	// Run applies the check to one package via the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Analyzers usually call Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding inside the package being analyzed.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+
+	// Unsuppressable findings ignore `//lint:<name>` markers: the analyzer
+	// considers the invariant too load-bearing for an escape hatch.
+	Unsuppressable bool
+}
+
+// Finding is a resolved diagnostic: position mapped through the file set
+// and tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to one type-checked package and returns the
+// surviving findings sorted by position. Marker suppression (see the
+// package comment) is applied here so every analyzer honours the same
+// escape hatch without reimplementing it.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	markers := collectMarkers(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if !d.Unsuppressable && markers.suppresses(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// markerIndex records which analyzers are marker-suppressed on which lines.
+type markerIndex map[string]map[int][]string // filename -> line -> analyzer names
+
+func (m markerIndex) suppresses(analyzer string, pos token.Position) bool {
+	lines := m[pos.Filename]
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectMarkers indexes every `//lint:<name>` comment by file and line.
+func collectMarkers(fset *token.FileSet, files []*ast.File) markerIndex {
+	idx := make(markerIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:") {
+					continue
+				}
+				name := strings.TrimPrefix(text, "lint:")
+				if i := strings.IndexAny(name, " \t"); i >= 0 {
+					name = name[:i]
+				}
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = make(map[int][]string)
+				}
+				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], name)
+			}
+		}
+	}
+	return idx
+}

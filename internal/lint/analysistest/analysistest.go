@@ -1,0 +1,169 @@
+// Package analysistest runs one analyzer over fixture packages under a
+// testdata/src tree and matches its findings against `// want` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line carrying `// want "regexp"` (double- or back-quoted, one
+// or more) must produce exactly that many findings on that line, each
+// matching one of the regexps; any unmatched finding or unmet expectation
+// fails the test. Fixture packages resolve imports first through the
+// testdata tree, then through the enclosing module (so fixtures may import
+// real igosim packages like internal/stats), then GOROOT.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"igosim/internal/lint/analysis"
+	"igosim/internal/lint/loader"
+)
+
+// Run loads each fixture package (an import path under testdata/src) and
+// checks analyzer a's findings against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	modRoot, err := loader.ModuleRoot(testdata)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l := loader.New(
+		loader.Root{Prefix: "", Dir: src},
+		loader.Root{Prefix: "igosim", Dir: modRoot},
+	)
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+// expectation is one `// want` regexp awaiting a finding on its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func checkWants(t *testing.T, pkg *loader.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: want matching %q, got no finding", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants scans every fixture file's comments for want expectations.
+func collectWants(t *testing.T, pkg *loader.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(text[idx+len("want "):])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns extracts the quoted regexps after "want": a sequence of
+// double- or back-quoted Go string literals separated by spaces.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			// Trailing prose after the patterns is allowed.
+			if len(out) == 0 {
+				return nil, fmt.Errorf("expected quoted regexp in %q", s)
+			}
+			return out, nil
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

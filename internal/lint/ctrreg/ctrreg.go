@@ -1,0 +1,101 @@
+// Package ctrreg keeps the stats counter registry complete: every
+// stats.CacheCounters constructed at package level must come from
+// stats.NewCacheCounters, which registers it so igo.ResetCaches /
+// stats.ResetAllCacheCounters can zero it between runs. A counter built
+// with a composite literal (or new, or declared as a zero value) never
+// registers, so back-to-back experiment runs silently mix its hit/miss
+// totals — the kind of cross-run contamination the parallel golden tests
+// cannot see because it only skews the observability report.
+package ctrreg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"igosim/internal/lint/analysis"
+)
+
+// Analyzer is the ctrreg check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctrreg",
+	Doc: "package-level stats.CacheCounters must be constructed with " +
+		"stats.NewCacheCounters so ResetAllCacheCounters can zero them",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if p := pass.Pkg.Path(); p == "internal/stats" || strings.HasSuffix(p, "/internal/stats") {
+		return nil // the constructor's own package builds the literal
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if len(vs.Values) == 0 {
+					// Zero-value declaration: a value-typed counter is live
+					// and unregistered; a nil pointer is just nil.
+					if vs.Type != nil && isCacheCounters(pass.TypesInfo.TypeOf(vs.Type)) {
+						pass.Reportf(vs.Pos(), "zero-value stats.CacheCounters is never registered; construct with stats.NewCacheCounters so ResetAllCacheCounters can zero it")
+					}
+					continue
+				}
+				for _, v := range vs.Values {
+					checkInit(pass, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkInit walks a package-level initializer for counter constructions
+// that bypass registration.
+func checkInit(pass *analysis.Pass, expr ast.Expr) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isCacheCounters(pass.TypesInfo.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "stats.CacheCounters composite literal bypasses registration; use stats.NewCacheCounters so ResetAllCacheCounters can zero it")
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" && len(n.Args) == 1 {
+					if isCacheCounters(pass.TypesInfo.TypeOf(n.Args[0])) {
+						pass.Reportf(n.Pos(), "new(stats.CacheCounters) bypasses registration; use stats.NewCacheCounters so ResetAllCacheCounters can zero it")
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isCacheCounters reports whether t is exactly stats.CacheCounters. A
+// *CacheCounters is deliberately not matched: a nil pointer declaration is
+// inert, while a value-typed zero counter is live and unregistered.
+func isCacheCounters(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "CacheCounters" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/stats" || strings.HasSuffix(path, "/internal/stats")
+}

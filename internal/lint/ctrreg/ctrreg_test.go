@@ -1,0 +1,12 @@
+package ctrreg_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint/analysistest"
+	"igosim/internal/lint/ctrreg"
+)
+
+func TestCtrreg(t *testing.T) {
+	analysistest.Run(t, "testdata", ctrreg.Analyzer, "ctrregtest")
+}

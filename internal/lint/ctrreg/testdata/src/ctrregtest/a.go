@@ -1,0 +1,34 @@
+// Package ctrregtest is the ctrreg fixture: package-level counters must be
+// constructed through stats.NewCacheCounters so the process-wide registry
+// can reset them.
+package ctrregtest
+
+import "igosim/internal/stats"
+
+var registered = stats.NewCacheCounters("good")
+
+var literal = &stats.CacheCounters{} // want `stats\.CacheCounters composite literal bypasses registration`
+
+var viaNew = new(stats.CacheCounters) // want `new\(stats\.CacheCounters\) bypasses registration`
+
+var zero stats.CacheCounters // want `zero-value stats\.CacheCounters is never registered`
+
+// nilPtr stays nil until something constructs it properly.
+var nilPtr *stats.CacheCounters
+
+type cache struct {
+	counters *stats.CacheCounters
+	name     string
+}
+
+var wrapped = cache{counters: &stats.CacheCounters{}, name: "bad"} // want `stats\.CacheCounters composite literal bypasses registration`
+
+var wrappedGood = cache{counters: stats.NewCacheCounters("ok"), name: "good"}
+
+// localIsFine: function-scope construction is the constructor's problem,
+// not the package registry's.
+func localIsFine() stats.CacheSnapshot {
+	c := stats.NewCacheCounters("local")
+	c.Hit()
+	return c.Snapshot()
+}

@@ -1,0 +1,170 @@
+// Package cycleint keeps cycle and byte accounting integer-exact. The
+// simulator reconciles per-track cycle sums to the final Result.Cycles via
+// trace.Sink.Check, so any float32/float64 arithmetic truncated into a
+// cycle- or byte-counting variable (names containing Cycles, Stall, Bytes,
+// Evict or Spill) is a silent source of off-by-one drift: int64(x*y)
+// truncates toward zero and the error compounds across tiles. The analyzer
+// flags integer conversions whose operand is float arithmetic unless the
+// operand passes through an explicit rounding call (math.Round, math.Floor,
+// math.Ceil, math.Trunc, math.RoundToEven) that makes the rounding
+// direction a stated decision.
+package cycleint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"igosim/internal/lint/analysis"
+)
+
+// Analyzer is the cycleint check.
+var Analyzer = &analysis.Analyzer{
+	Name: "cycleint",
+	Doc: "flags float arithmetic truncated into cycle/byte counters (names matching " +
+		"Cycles|Stall|Bytes|Evict|Spill) without an explicit math.Round/Floor/Ceil",
+	Run: run,
+}
+
+// counterName matches identifiers that account cycles or bytes.
+var counterName = regexp.MustCompile(`(?i)(cycles|stall|bytes|evict|spill)`)
+
+// roundFuncs make the rounding direction explicit.
+var roundFuncs = map[string]bool{
+	"Round": true, "Floor": true, "Ceil": true, "Trunc": true, "RoundToEven": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if !lhsMatches(lhs) {
+						continue
+					}
+					if i < len(st.Rhs) {
+						checkExpr(pass, st.Rhs[i], exprName(lhs))
+					} else if len(st.Rhs) == 1 {
+						checkExpr(pass, st.Rhs[0], exprName(lhs))
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range st.Names {
+					if counterName.MatchString(name.Name) {
+						for _, v := range st.Values {
+							checkExpr(pass, v, name.Name)
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := st.Key.(*ast.Ident); ok && counterName.MatchString(id.Name) {
+					checkExpr(pass, st.Value, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func lhsMatches(lhs ast.Expr) bool {
+	name := exprName(lhs)
+	return name != "" && counterName.MatchString(name)
+}
+
+// exprName extracts the identifier an assignment targets (the selector
+// field name for x.Cycles, the identifier itself for cycles).
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	}
+	return ""
+}
+
+// checkExpr walks rhs for integer conversions of unrounded float
+// arithmetic feeding the named counter.
+func checkExpr(pass *analysis.Pass, rhs ast.Expr, target string) {
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil {
+			return true
+		}
+		ab, ok := at.Underlying().(*types.Basic)
+		if !ok || ab.Info()&types.IsFloat == 0 {
+			return true
+		}
+		if isRoundCall(pass, arg) {
+			return true
+		}
+		if !containsFloatArith(pass, arg) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "float arithmetic truncated into %s by %s(...); wrap the operand in math.Round/Floor/Ceil to make the rounding explicit", target, basic.Name())
+		return false
+	})
+}
+
+// isRoundCall reports whether e is math.Round/Floor/Ceil/Trunc(...).
+func isRoundCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "math" && roundFuncs[obj.Name()]
+}
+
+// containsFloatArith reports whether e contains +,-,*,/ on float operands.
+func containsFloatArith(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Don't descend into nested rounding calls: their operand's
+		// arithmetic is already rounded.
+		if call, ok := n.(*ast.CallExpr); ok && isRoundCall(pass, call) {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op.String() {
+		case "+", "-", "*", "/":
+		default:
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(bin.X); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

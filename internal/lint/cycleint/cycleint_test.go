@@ -1,0 +1,12 @@
+package cycleint_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint/analysistest"
+	"igosim/internal/lint/cycleint"
+)
+
+func TestCycleint(t *testing.T) {
+	analysistest.Run(t, "testdata", cycleint.Analyzer, "cycleinttest")
+}

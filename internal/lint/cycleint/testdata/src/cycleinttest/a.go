@@ -1,0 +1,65 @@
+// Package cycleinttest is the cycleint fixture: float arithmetic truncated
+// into cycle/byte counters must be flagged unless routed through an
+// explicit math rounding call; integer math and non-counter names pass.
+package cycleinttest
+
+import "math"
+
+type result struct {
+	Cycles int64
+	Bytes  int64
+	name   string
+}
+
+func tileCycles(n int, scale float64) int64 {
+	cycles := int64(float64(n) * scale) // want `float arithmetic truncated into cycles by int64`
+	return cycles
+}
+
+func fields(n int, frac float64) result {
+	var r result
+	r.Cycles = int64(float64(n) * frac)            // want `float arithmetic truncated into Cycles by int64`
+	r.Bytes = int64(math.Round(float64(n) * frac)) // rounded: allowed
+	return r
+}
+
+func literal(n int, frac float64) result {
+	return result{
+		Cycles: int64(frac * float64(n)), // want `float arithmetic truncated into Cycles by int64`
+		Bytes:  int64(math.Ceil(frac)),   // no arithmetic in the operand: allowed
+		name:   "fixture",
+	}
+}
+
+func plusEquals(n int, frac float64) int64 {
+	var spillBytes int64
+	spillBytes += int64(frac * float64(n)) // want `float arithmetic truncated into spillBytes by int64`
+	return spillBytes
+}
+
+// nonCounter names stay unflagged: the analyzer scopes to accounting state.
+func nonCounter(n int, frac float64) int64 {
+	share := int64(float64(n) * frac)
+	return share
+}
+
+// intOnly arithmetic never involves floats.
+func intOnly(a, b int64) int64 {
+	var stallCycles int64
+	stallCycles = a*b + 1
+	return stallCycles
+}
+
+// plainConversion has no arithmetic inside the conversion.
+func plainConversion(f float64) int64 {
+	var evictBytes int64
+	evictBytes = int64(f)
+	return evictBytes
+}
+
+// suppressed shows the marker escape hatch for a deliberate truncation.
+func suppressed(n int, frac float64) int64 {
+	//lint:cycleint deliberate truncation toward zero, validated by test
+	totalBytes := int64(frac * float64(n))
+	return totalBytes
+}

@@ -1,0 +1,219 @@
+// Package detmap flags `range` loops over maps whose bodies have
+// order-dependent effects: printing/formatting (including fmt.Errorf — the
+// chosen error then depends on iteration order) or appending to a slice
+// declared outside the loop. Go randomises map iteration order, so any
+// such loop makes reports, figures and error messages nondeterministic —
+// exactly the silent nondeterminism the simulator's byte-identical golden
+// tests exist to prevent.
+//
+// Two escapes keep legitimate code clean:
+//
+//   - range over a sorted key slice instead (stats.SortedKeys or any
+//     explicit sort) — the loop no longer ranges over a map at all;
+//   - appending to an outer slice is allowed when the same function later
+//     sorts that slice (the stats.SortedKeys implementation pattern).
+//
+// Order-insensitive bodies (summing, counting, building another map) are
+// never flagged.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"igosim/internal/lint/analysis"
+)
+
+// Analyzer is the detmap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flags map-range loops that print, format errors, or append to outer slices " +
+		"without a later sort; iterate stats.SortedKeys(m) or sort explicitly",
+	Run: run,
+}
+
+// emitMethods are writer/report method names that serialise output.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "AddRowF": true,
+}
+
+// fmtEmitters are fmt functions whose call order shapes observable output.
+var fmtEmitters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Errorf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// Map each function body to its node so a range statement can find
+		// the enclosing function for the sort-after-append escape.
+		var funcBodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					funcBodies = append(funcBodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				funcBodies = append(funcBodies, fn.Body)
+			}
+			return true
+		})
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingBody(funcBodies, rs))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingBody returns the innermost function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, fn *ast.BlockStmt) {
+	var appendTargets []types.Object
+	reported := false
+	report := func(pos token.Pos, what string) {
+		if !reported {
+			pass.Reportf(rs.For, "map iteration order reaches output via %s; range over sorted keys (e.g. stats.SortedKeys) instead", what)
+			reported = true
+		}
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" && len(call.Args) > 0 {
+				if obj := outerObject(pass, call.Args[0], rs); obj != nil {
+					appendTargets = append(appendTargets, obj)
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+				if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && fmtEmitters[obj.Name()] {
+					report(call.Pos(), "fmt."+obj.Name())
+					return true
+				}
+			}
+			if sel := pass.TypesInfo.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal && emitMethods[fun.Sel.Name] {
+				report(call.Pos(), "method "+fun.Sel.Name)
+			}
+		}
+		return true
+	})
+	if reported {
+		return
+	}
+
+	// Appending to an outer slice is nondeterministic unless the function
+	// sorts that slice after the loop.
+	for _, obj := range appendTargets {
+		if fn == nil || !sortedAfter(pass, fn, rs, obj) {
+			pass.Reportf(rs.For, "map iteration appends to %s in nondeterministic order; sort it afterwards or range over sorted keys", obj.Name())
+			return
+		}
+	}
+}
+
+// outerObject resolves expr to a variable declared outside the range
+// statement (an identifier or the base of a selector), or nil.
+func outerObject(pass *analysis.Pass, expr ast.Expr, rs *ast.RangeStmt) types.Object {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End() {
+		return nil // loop-local accumulator: scoped to this iteration set
+	}
+	return obj
+}
+
+// sortFuncs are sort/slices functions that impose a total order.
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedAfter reports whether fn contains, after the range statement, a
+// sort.*/slices.* call referencing obj.
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		cf, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || cf.Pkg() == nil || !sortFuncs[cf.Name()] {
+			return true
+		}
+		if p := cf.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			refs := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					refs = true
+				}
+				return !refs
+			})
+			if refs {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}

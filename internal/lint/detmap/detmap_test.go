@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint/analysistest"
+	"igosim/internal/lint/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata", detmap.Analyzer, "detmaptest")
+}

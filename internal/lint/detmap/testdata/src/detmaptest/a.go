@@ -1,0 +1,86 @@
+// Package detmaptest is the detmap analyzer fixture: map-range loops with
+// order-dependent effects must be flagged; order-insensitive or explicitly
+// sorted loops must not.
+package detmaptest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func emitUnsorted(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output via fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func errUnsorted(m map[string]int) error {
+	for k := range m { // want `map iteration order reaches output via fmt\.Errorf`
+		if k == "" {
+			return fmt.Errorf("empty key in map of %d entries", len(m))
+		}
+	}
+	return nil
+}
+
+func writeUnsorted(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `map iteration order reaches output via method WriteString`
+		b.WriteString(k)
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to keys in nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeysPattern mirrors stats.SortedKeys: append then sort is the
+// sanctioned way to turn a map into a deterministic sequence.
+func sortedKeysPattern(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sumOnly is order-insensitive: accumulation commutes.
+func sumOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// viaSorted emits from a slice, not a map: the loop the fix produces.
+func viaSorted(m map[string]int) {
+	for _, k := range sortedKeysPattern(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+// suppressed shows the marker escape hatch.
+func suppressed(m map[string]int) {
+	//lint:detmap fixture demonstrating the escape hatch
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// loopLocal appends to a slice scoped inside the loop body: each
+// iteration's slice dies with the iteration, so order cannot leak.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

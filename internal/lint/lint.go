@@ -1,0 +1,29 @@
+// Package lint assembles the igolint analyzer suite: six go/analysis-style
+// checks that prove the simulator's determinism and zero-overhead
+// invariants at compile time (see DESIGN.md §3e). The cmd/igolint driver
+// runs All() over the module; each analyzer also ships an
+// analysistest-based unit suite so plain `go test ./...` exercises the
+// checks themselves.
+package lint
+
+import (
+	"igosim/internal/lint/analysis"
+	"igosim/internal/lint/ctrreg"
+	"igosim/internal/lint/cycleint"
+	"igosim/internal/lint/detmap"
+	"igosim/internal/lint/nilguard"
+	"igosim/internal/lint/spanpair"
+	"igosim/internal/lint/wallclock"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctrreg.Analyzer,
+		cycleint.Analyzer,
+		detmap.Analyzer,
+		nilguard.Analyzer,
+		spanpair.Analyzer,
+		wallclock.Analyzer,
+	}
+}

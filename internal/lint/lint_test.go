@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint"
+)
+
+// TestSuiteShape pins the analyzer roster: six distinct, documented,
+// runnable checks. A rename or accidental drop fails here before the
+// Makefile's lint target can silently thin out.
+func TestSuiteShape(t *testing.T) {
+	all := lint.All()
+	if len(all) != 6 {
+		t.Fatalf("lint.All() has %d analyzers, want 6", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"detmap", "wallclock", "cycleint", "nilguard", "spanpair", "ctrreg"} {
+		if !seen[want] {
+			t.Errorf("analyzer %q missing from lint.All()", want)
+		}
+	}
+}

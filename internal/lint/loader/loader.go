@@ -1,0 +1,221 @@
+// Package loader type-checks Go packages from source using only the
+// standard library, standing in for golang.org/x/tools/go/packages (which
+// the repo cannot vendor). Import paths resolve through an ordered list of
+// Roots — typically an analysistest testdata tree, then the module root,
+// then GOROOT/src — and the whole transitive closure is checked from
+// source, so the loader works offline with no build cache or export data.
+//
+// Dependency packages are checked with function bodies ignored (their
+// exported API is all the analyzers need); only packages loaded through
+// Load get full bodies and a populated types.Info.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Root maps an import-path prefix to a directory. A Root with an empty
+// Prefix serves any path whose directory exists under Dir (the analysistest
+// `testdata/src` convention).
+type Root struct {
+	Prefix string // import-path prefix, e.g. "igosim"; "" matches any path
+	Dir    string // directory holding <import path minus prefix>
+}
+
+// Package is one fully type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves and type-checks packages, caching shared dependencies.
+type Loader struct {
+	Fset  *token.FileSet
+	roots []Root
+	ctxt  build.Context
+	sizes types.Sizes
+
+	deps    map[string]*types.Package // API-only packages, bodies ignored
+	loading map[string]bool           // import cycle detection
+}
+
+// New creates a loader resolving through roots (in order) and then
+// GOROOT/src. Cgo is disabled so every package resolves to its pure-Go
+// fallback files.
+func New(roots ...Root) *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		roots:   roots,
+		ctxt:    ctxt,
+		sizes:   types.SizesFor("gc", build.Default.GOARCH),
+		deps:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// dirFor resolves an import path to a directory, or "" when unresolvable.
+func (l *Loader) dirFor(path string) string {
+	for _, r := range l.roots {
+		var dir string
+		switch {
+		case r.Prefix == "":
+			dir = filepath.Join(r.Dir, filepath.FromSlash(path))
+		case path == r.Prefix:
+			dir = r.Dir
+		case strings.HasPrefix(path, r.Prefix+"/"):
+			dir = filepath.Join(r.Dir, filepath.FromSlash(strings.TrimPrefix(path, r.Prefix+"/")))
+		default:
+			continue
+		}
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+	}
+	dir := filepath.Join(l.goroot(), "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+func (l *Loader) goroot() string {
+	if l.ctxt.GOROOT != "" {
+		return l.ctxt.GOROOT
+	}
+	return build.Default.GOROOT
+}
+
+// Load type-checks the package at the given import path with full function
+// bodies and a populated types.Info. Test files are excluded: igolint's
+// invariants govern shipping code.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("loader: cannot resolve %q under any root", path)
+	}
+	files, err := l.parseDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := l.config(false)
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+func (l *Loader) config(ignoreBodies bool) types.Config {
+	return types.Config{
+		Importer:         importerFunc(l.importDep),
+		Sizes:            l.sizes,
+		IgnoreFuncBodies: ignoreBodies,
+		// Dependencies only need their APIs; soft errors inside function
+		// bodies of analyzed packages still fail the load, which is what a
+		// lint driver wants.
+	}
+}
+
+// importDep satisfies types.Importer for transitive dependencies, checking
+// each from source once (bodies ignored) and caching the result.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("loader: cannot resolve import %q", path)
+	}
+	files, err := l.parseDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := l.config(true)
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("loader: dependency %s: %w", path, err)
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the package's non-test Go files (honouring build
+// constraints for the host platform, cgo off) in deterministic order.
+func (l *Loader) parseDir(path, dir string) ([]*ast.File, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", path, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: %s: no buildable Go files in %s", path, dir)
+	}
+	return files, nil
+}
+
+// importerFunc adapts a function to types.Importer (as go/importer does).
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Compile-time check that the adapter matches the stdlib interface shape.
+var _ types.Importer = importerFunc(nil)
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

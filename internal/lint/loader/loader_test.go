@@ -1,0 +1,70 @@
+package loader
+
+import "testing"
+
+// TestLoadModulePackage checks the loader against a real module package
+// whose transitive closure spans generics, sync/atomic and fmt — the same
+// shape every igolint analyzer run exercises.
+func TestLoadModulePackage(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(Root{Prefix: "igosim", Dir: root})
+	pkg, err := l.Load("igosim/internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "stats" {
+		t.Fatalf("package name = %q, want stats", pkg.Types.Name())
+	}
+	if obj := pkg.Types.Scope().Lookup("SortedKeys"); obj == nil {
+		t.Fatal("SortedKeys not found in igosim/internal/stats")
+	}
+	if obj := pkg.Types.Scope().Lookup("NewCacheCounters"); obj == nil {
+		t.Fatal("NewCacheCounters not found in igosim/internal/stats")
+	}
+	// Full loads must carry body-level type info: find at least one
+	// identifier use resolved to a stdlib object.
+	var sawStdlibUse bool
+	for _, obj := range pkg.Info.Uses {
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sort" {
+			sawStdlibUse = true
+			break
+		}
+	}
+	if !sawStdlibUse {
+		t.Error("types.Info.Uses has no resolved sort.* reference; body info missing")
+	}
+}
+
+// TestLoadCachesDependencies checks that two loads share dependency
+// packages instead of re-checking the stdlib closure.
+func TestLoadCachesDependencies(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(Root{Prefix: "igosim", Dir: root})
+	if _, err := l.Load("igosim/internal/knn"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(l.deps)
+	if _, err := l.Load("igosim/internal/tensor"); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.deps) < before {
+		t.Fatalf("dependency cache shrank: %d -> %d", before, len(l.deps))
+	}
+	if before == 0 {
+		t.Fatal("no dependencies cached after loading a package that imports fmt")
+	}
+}
+
+// TestUnresolvableImport checks the error path for unknown import paths.
+func TestUnresolvableImport(t *testing.T) {
+	l := New()
+	if _, err := l.Load("igosim/internal/does-not-exist"); err == nil {
+		t.Fatal("expected error for unresolvable package")
+	}
+}

@@ -1,0 +1,67 @@
+// Package trace is the nilguard fixture for the real sink types: every
+// exported pointer-receiver method on Sink and Track must open with the
+// nil fast path that makes a nil sink the zero-overhead disabled tracer.
+package trace
+
+type Sink struct {
+	events []int
+}
+
+// Emit shows the canonical guard.
+func (s *Sink) Emit(v int) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, v)
+}
+
+// EmitIf shows the guard inside an || chain.
+func (s *Sink) EmitIf(v int, ok bool) {
+	if s == nil || !ok {
+		return
+	}
+	s.events = append(s.events, v)
+}
+
+// Enabled is a single return with no field reads: nil-safe by
+// construction.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Count reads a field with no guard.
+func (s *Sink) Count() int { // want `\(\*Sink\)\.Count must begin with the .if s == nil. fast-path return`
+	return len(s.events)
+}
+
+// Flush guards too late: the first statement already ran on a nil sink.
+func (s *Sink) Flush() { // want `\(\*Sink\)\.Flush must begin with the .if s == nil. fast-path return`
+	n := len(s.events)
+	if s == nil {
+		return
+	}
+	s.events = s.events[:0]
+	_ = n
+}
+
+// unexported methods are behind the guard already; the contract covers the
+// exported surface.
+func (s *Sink) grow() { s.events = append(s.events, 0) }
+
+type Track struct{ n int }
+
+// Add forgets the guard on the second sink type.
+func (t *Track) Add(v int) { // want `\(\*Track\)\.Add must begin with the .if t == nil. fast-path return`
+	t.n += v
+}
+
+// Reset is guarded.
+func (t *Track) Reset() {
+	if t == nil {
+		return
+	}
+	t.n = 0
+}
+
+// Snapshot has a value receiver: a nil pointer can never reach it.
+type Snapshot struct{ n int }
+
+func (s Snapshot) N() int { return s.n }

@@ -1,0 +1,175 @@
+// Package spanpair pairs trace span openers with closers inside each
+// function: every Begin*/Push* method call must have a matching End*/Pop*
+// on the same receiver, and unless the closer is deferred, no return may
+// sit between the opener and its closer. An unbalanced span corrupts the
+// trace's stall-attribution reconciliation (trace.Sink.Check) silently —
+// the span stays open, its duration absorbs everything after it, and the
+// per-track cycle identity still "adds up".
+//
+// Matching is by name suffix and receiver expression: s.BeginCompute pairs
+// with s.EndCompute, st.PushPhase with st.PopPhase. Prefixes only count
+// when followed by an upper-case rune or nothing, so Populate/Ended-style
+// names never match. The check is intra-procedural and linear by design:
+// a span opened in one function and closed in another needs either a
+// `defer`-based API or a `//lint:spanpair` marker explaining the transfer
+// of ownership.
+package spanpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"igosim/internal/lint/analysis"
+)
+
+// Analyzer is the spanpair check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc: "every Begin*/Push* trace span must have a matching End*/Pop* on the same " +
+		"receiver, deferred or before every return",
+	Run: run,
+}
+
+// spanCall is one opener or closer occurrence within a function.
+type spanCall struct {
+	key      string // pair kind + suffix + receiver, e.g. "begin/Compute/s"
+	name     string // method name as written
+	pos      token.Pos
+	deferred bool
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// splitSpan classifies a method name as an opener or closer and returns
+// the pair key root and suffix. ok is false for non-span names.
+func splitSpan(name string) (kind, suffix string, open, ok bool) {
+	for _, p := range [4]struct {
+		prefix, kind string
+		open         bool
+	}{
+		{"Begin", "begin", true}, {"End", "begin", false},
+		{"Push", "push", true}, {"Pop", "push", false},
+	} {
+		rest, found := strings.CutPrefix(name, p.prefix)
+		if !found {
+			continue
+		}
+		if rest != "" {
+			r, _ := utf8.DecodeRuneInString(rest)
+			if !unicode.IsUpper(r) {
+				continue // Populate, Endless, Pushy, ...
+			}
+		}
+		return p.kind, rest, p.open, true
+	}
+	return "", "", false, false
+}
+
+// checkFunc scans one function body (excluding nested function literals,
+// which are checked separately) for span calls and returns.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var opens, closes []spanCall
+	var returns []token.Pos
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				// A nested literal is its own scope (checked by run) —
+				// except under defer, where its body runs on every return
+				// path and so counts as deferred closers.
+				return deferred
+			case *ast.DeferStmt:
+				// defer s.End(...) — or defer func() { s.End(...) }().
+				walk(m.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				if !deferred {
+					returns = append(returns, m.Pos())
+				}
+			case *ast.CallExpr:
+				sel, ok := m.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, suffix, open, ok := splitSpan(sel.Sel.Name)
+				if !ok {
+					return true
+				}
+				c := spanCall{
+					key:      kind + "/" + suffix + "/" + types.ExprString(sel.X),
+					name:     sel.Sel.Name,
+					pos:      m.Pos(),
+					deferred: deferred,
+				}
+				if open {
+					opens = append(opens, c)
+				} else {
+					closes = append(closes, c)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	for _, o := range opens {
+		var matched []spanCall
+		for _, c := range closes {
+			if c.key == o.key {
+				matched = append(matched, c)
+			}
+		}
+		if len(matched) == 0 {
+			pass.Reportf(o.pos, "%s has no matching %s in this function; close the span on every path (defer it) or mark the ownership transfer with //lint:spanpair", o.name, closerName(o.name))
+			continue
+		}
+		deferred := false
+		last := matched[0]
+		for _, c := range matched {
+			if c.deferred {
+				deferred = true
+			}
+			if c.pos > last.pos {
+				last = c
+			}
+		}
+		if deferred {
+			continue
+		}
+		for _, r := range returns {
+			if r > o.pos && r < last.pos {
+				pass.Reportf(r, "return between %s and its %s leaves the span open; defer the %s or close before returning", o.name, last.name, last.name)
+				break
+			}
+		}
+	}
+}
+
+// closerName maps an opener method name to its expected closer.
+func closerName(open string) string {
+	if rest, ok := strings.CutPrefix(open, "Begin"); ok {
+		return "End" + rest
+	}
+	return "Pop" + strings.TrimPrefix(open, "Push")
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint/analysistest"
+	"igosim/internal/lint/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, "testdata", spanpair.Analyzer, "spanpairtest")
+}

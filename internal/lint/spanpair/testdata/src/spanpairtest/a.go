@@ -1,0 +1,79 @@
+// Package spanpairtest is the spanpair fixture: Begin/End and Push/Pop
+// method pairs must balance within a function, with deferred closers
+// covering every return path.
+package spanpairtest
+
+type span struct{}
+
+func (s *span) BeginCompute()      {}
+func (s *span) EndCompute()        {}
+func (s *span) BeginDMA()          {}
+func (s *span) EndDMA()            {}
+func (s *span) PushPhase(n string) {}
+func (s *span) PopPhase()          {}
+func (s *span) Populate()          {}
+func (s *span) Ended() bool        { return true }
+
+func balanced(s *span) {
+	s.BeginCompute()
+	s.EndCompute()
+}
+
+func deferredClose(s *span, err error) error {
+	s.BeginCompute()
+	defer s.EndCompute()
+	if err != nil {
+		return err // covered by the deferred closer
+	}
+	return nil
+}
+
+func deferredLiteral(s *span, err error) error {
+	s.BeginCompute()
+	defer func() { s.EndCompute() }()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func missingEnd(s *span) {
+	s.BeginCompute() // want `BeginCompute has no matching EndCompute`
+}
+
+func earlyReturn(s *span, err error) error {
+	s.BeginDMA()
+	if err != nil {
+		return err // want `return between BeginDMA and its EndDMA leaves the span open`
+	}
+	s.EndDMA()
+	return nil
+}
+
+func pushPop(s *span) {
+	s.PushPhase("fwd")
+	s.PopPhase()
+}
+
+func pushNoPop(s *span) {
+	s.PushPhase("bwd") // want `PushPhase has no matching PopPhase`
+}
+
+// prefixesNeedUppercaseSuffix: Populate is not Pop+ulate, Ended is not
+// End+ed.
+func prefixesNeedUppercaseSuffix(s *span) bool {
+	s.Populate()
+	return s.Ended()
+}
+
+func mismatchedReceiver(a, b *span) {
+	a.BeginCompute() // want `BeginCompute has no matching EndCompute`
+	b.EndCompute()
+}
+
+// suppressed transfers span ownership to a returned closure — the marker
+// documents the intra-procedural analysis limit.
+func suppressed(s *span) func() {
+	s.BeginCompute() //lint:spanpair closed by the returned stop function
+	return func() { s.EndCompute() }
+}

@@ -1,0 +1,17 @@
+// Package runner is the wallclock fixture for a marked package: wall-clock
+// reads are legitimate here but each must carry a //lint:wallclock marker
+// documenting why.
+package runner
+
+import "time"
+
+func taskSpan() (begin, end time.Time) {
+	begin = time.Now() //lint:wallclock runner task spans are wall-clock by design
+	//lint:wallclock marker on the preceding line also works
+	end = time.Now()
+	return begin, end
+}
+
+func unmarked() time.Time {
+	return time.Now() // want `time\.Now in igosim/internal/runner needs a //lint:wallclock marker`
+}

@@ -1,0 +1,23 @@
+// Package sim is the wallclock fixture for a forbidden (cycle-accounting)
+// package: every wall-clock read and math/rand import is flagged, and the
+// //lint:wallclock marker cannot excuse them.
+package sim
+
+import (
+	"math/rand" // want `math/rand imported in a cycle-accounting package`
+	"time"
+)
+
+func elapsed() int64 {
+	start := time.Now()       // want `wall-clock read time\.Now`
+	wait := time.Since(start) // want `wall-clock read time\.Since`
+	return wait.Microseconds() + int64(rand.Intn(3))
+}
+
+func markedAnyway() {
+	//lint:wallclock markers cannot excuse cycle-accounting packages
+	time.Sleep(0) // want `wall-clock read time\.Sleep`
+}
+
+// cycleMath is what cycle accounting is supposed to look like.
+func cycleMath(busy, stall int64) int64 { return busy + stall }

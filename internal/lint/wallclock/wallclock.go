@@ -1,0 +1,88 @@
+// Package wallclock forbids wall-clock reads (time.Now, time.Since,
+// time.Sleep) and math/rand in the simulator's cycle-accounting packages.
+// Simulated time advances only by integer cycle arithmetic; a wall-clock
+// read or RNG draw in internal/sim, internal/core, internal/spm,
+// internal/schedule, internal/dram or internal/energy would make results
+// vary run to run and break the byte-identical golden figures. Findings in
+// those packages are unsuppressable.
+//
+// internal/runner and internal/trace legitimately observe wall-clock time
+// (worker task spans, trace timestamps); each such use must carry a
+// `//lint:wallclock <reason>` marker on its line or the line above, which
+// both documents the exemption and suppresses the finding.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"igosim/internal/lint/analysis"
+)
+
+// Analyzer is the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Sleep and math/rand in cycle-accounting packages; " +
+		"internal/runner and internal/trace uses need a //lint:wallclock marker",
+	Run: run,
+}
+
+// forbidden packages account simulated cycles; wall-clock reads there are
+// never legitimate, so markers cannot suppress them.
+var forbidden = []string{
+	"internal/sim", "internal/core", "internal/spm",
+	"internal/schedule", "internal/dram", "internal/energy",
+}
+
+// marked packages may read the wall clock with a documented marker.
+var marked = []string{"internal/runner", "internal/trace"}
+
+// clockFuncs are the time functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Sleep": true}
+
+func hasSuffix(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	hard := hasSuffix(path, forbidden)
+	if !hard && !hasSuffix(path, marked) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Report(analysis.Diagnostic{
+					Pos:            imp.Pos(),
+					Message:        "math/rand imported in a cycle-accounting package; simulated behaviour must be deterministic",
+					Unsuppressable: hard,
+				})
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !clockFuncs[obj.Name()] {
+				return true
+			}
+			msg := "wall-clock read time." + obj.Name() + " in a cycle-accounting package; cycles advance only by integer arithmetic"
+			if !hard {
+				msg = "time." + obj.Name() + " in " + path + " needs a //lint:wallclock marker explaining the wall-clock use"
+			}
+			pass.Report(analysis.Diagnostic{Pos: sel.Pos(), Message: msg, Unsuppressable: hard})
+			return true
+		})
+	}
+	return nil
+}

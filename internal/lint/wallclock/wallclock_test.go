@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint/analysistest"
+	"igosim/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer,
+		"igosim/internal/sim",    // forbidden: flagged, markers ignored
+		"igosim/internal/runner", // marked: flagged unless //lint:wallclock
+		"wcother",                // unscoped: ignored entirely
+	)
+}

@@ -87,9 +87,9 @@ func runTask[T, R any](sink *trace.Sink, worker, index int, item T, fn func(T) R
 	if sink == nil {
 		return fn(item)
 	}
-	begin := time.Now()
+	begin := time.Now() //lint:wallclock runner task spans measure host execution, not simulated cycles
 	r := fn(item)
-	sink.Task(worker, index, begin, time.Now())
+	sink.Task(worker, index, begin, time.Now()) //lint:wallclock span end timestamp, same wall-clock domain as begin
 	return r
 }
 
@@ -162,8 +162,8 @@ func runTaskErr[T, R any](sink *trace.Sink, worker, index int, ctx context.Conte
 	if sink == nil {
 		return fn(ctx, item)
 	}
-	begin := time.Now()
+	begin := time.Now() //lint:wallclock runner task spans measure host execution, not simulated cycles
 	r, err := fn(ctx, item)
-	sink.Task(worker, index, begin, time.Now())
+	sink.Task(worker, index, begin, time.Now()) //lint:wallclock span end timestamp, same wall-clock domain as begin
 	return r, err
 }

@@ -2,9 +2,34 @@ package schedule
 
 import (
 	"fmt"
+	"sort"
 
 	"igosim/internal/tensor"
 )
+
+// sortedTileKeys returns m's keys in (Class, Tensor, Row, Col) order, so
+// verification errors name the same offending tile on every run regardless
+// of map iteration order.
+func sortedTileKeys[V any](m map[TileKey]V) []TileKey {
+	keys := make([]TileKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Tensor != b.Tensor {
+			return a.Tensor < b.Tensor
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	return keys
+}
 
 // VerifyBackward checks the structural invariants every backward-pass op
 // stream must satisfy for the layer described by p, regardless of access
@@ -84,8 +109,8 @@ func VerifyBackward(p TileParams, ops []Op, dwOnly bool) error {
 	if ndw != wantDW {
 		return fmt.Errorf("schedule: %d dW ops, want %d", ndw, wantDW)
 	}
-	for key, s := range acc {
-		if !s.lastSeen {
+	for _, key := range sortedTileKeys(acc) {
+		if !acc[key].lastSeen {
 			return fmt.Errorf("schedule: output %v never finalised", key)
 		}
 	}
@@ -98,12 +123,12 @@ func VerifyBackward(p TileParams, ops []Op, dwOnly bool) error {
 		counts[ops[i].Out.Key]++
 		kinds[ops[i].Out.Key] = ops[i].Kind
 	}
-	for key, n := range counts {
+	for _, key := range sortedTileKeys(counts) {
 		want := nt
 		if kinds[key] == KindDW {
 			want = mt
 		}
-		if n != want {
+		if n := counts[key]; n != want {
 			return fmt.Errorf("schedule: output %v has %d accumulation steps, want %d", key, n, want)
 		}
 	}
@@ -123,8 +148,8 @@ func VerifyForward(p TileParams, ops []Op) error {
 		}
 		counts[ops[i].Out.Key]++
 	}
-	for key, n := range counts {
-		if n != kt {
+	for _, key := range sortedTileKeys(counts) {
+		if n := counts[key]; n != kt {
 			return fmt.Errorf("schedule: forward output %v has %d steps, want %d", key, n, kt)
 		}
 	}

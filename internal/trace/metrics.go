@@ -57,10 +57,10 @@ type Metrics struct {
 // Metrics reduces the sink's tracks to a Metrics summary. A nil sink
 // returns the zero Metrics. Call only after traced simulations finished.
 func (s *Sink) Metrics() Metrics {
-	var m Metrics
 	if s == nil {
-		return m
+		return Metrics{}
 	}
+	var m Metrics
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, t := range s.tracks {

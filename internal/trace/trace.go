@@ -67,7 +67,7 @@ type Sink struct {
 // New creates an empty sink. The wall-clock origin of runner-task events is
 // the moment of creation.
 func New() *Sink {
-	return &Sink{start: time.Now(), nextPID: 1}
+	return &Sink{start: time.Now(), nextPID: 1} //lint:wallclock the sink's wall-clock origin for runner-task spans
 }
 
 // Enabled reports whether the sink collects events.
@@ -118,7 +118,7 @@ func (s *Sink) MemoHit(cache, label string) {
 	ev := wallEvent{
 		kind: wallMemoHit,
 		name: cache + ":" + label,
-		ts:   time.Since(s.start).Microseconds(),
+		ts:   time.Since(s.start).Microseconds(), //lint:wallclock memo hits are wall-clock events on the global track
 	}
 	s.mu.Lock()
 	s.wall = append(s.wall, ev)
