@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet lint ci golden trace-check
+.PHONY: build test race bench vet lint ci golden trace-check fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,23 @@ trace-check:
 lint:
 	$(GO) run ./cmd/igolint ./...
 
-ci: vet build race bench trace-check lint
+# Native fuzzing against the property-suite generators (DESIGN.md §3f).
+# The seed corpus lives in internal/proptest/testdata/fuzz/; 30 seconds per
+# target is enough to replay it and mutate a few hundred thousand inputs.
+# Go allows one -fuzz pattern per invocation, hence three runs.
+FUZZTIME ?= 30s
+fuzz-short:
+	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzBackwardSchedules$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzTilingCounts$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzSPMResidency$$' -fuzztime $(FUZZTIME)
+
+# Coverage profile across all packages; prints the total percentage that
+# README.md records under "Testing".
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+ci: vet build race bench trace-check lint cover fuzz-short
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

@@ -3,41 +3,26 @@
 // workload it executes the baseline, interleaved, rearranged and
 // partitioned schedules numerically (on deterministic matrices, scaled
 // down to keep runtimes sane) and checks the resulting dX/dW against
-// reference matrix products.
+// reference matrix products. With -refcheck every residency simulation is
+// additionally replayed through the internal/refmodel oracle and must
+// agree bit-exactly on every counter.
 //
 // Usage:
 //
 //	validate                  # whole zoo, scaled layers
 //	validate -model res -v    # one model, per-layer progress
+//	validate -refcheck        # also diff every simulation against the oracle
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"igosim/internal/config"
-	"igosim/internal/core"
 	"igosim/internal/runner"
-	"igosim/internal/schedule"
-	"igosim/internal/sim"
-	"igosim/internal/spm"
-	"igosim/internal/tensor"
 	"igosim/internal/trace"
-	"igosim/internal/workload"
+	"igosim/internal/validate"
 )
-
-// shrink caps a dimension so the O(M*K*N) numeric execution stays fast
-// while preserving the layer's aspect ratio and tile-edge behaviour.
-func shrink(v, cap int) int {
-	if v <= cap {
-		return v
-	}
-	// Keep a non-multiple-of-tile remainder to exercise edge tiles.
-	return cap + v%7
-}
 
 func main() {
 	var (
@@ -45,6 +30,7 @@ func main() {
 		suiteName = flag.String("suite", "server", "zoo suite: edge or server")
 		verbose   = flag.Bool("v", false, "per-layer progress")
 		jobs      = flag.Int("j", 0, "parallel validation workers (0 = GOMAXPROCS)")
+		refCheck  = flag.Bool("refcheck", false, "replay every simulation through the refmodel oracle and require bit-exact counters")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the residency simulations to this file (view in Perfetto)")
 		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
 	)
@@ -52,109 +38,17 @@ func main() {
 	runner.SetParallelism(*jobs)
 	stopTrace := trace.StartCLI(*traceOut, *report)
 
-	models, err := workload.AllModels(*suiteName)
-	if err != nil {
-		fatal(err)
-	}
-	if *modelName != "" {
-		m, err := workload.FindModel(*suiteName, *modelName)
-		if err != nil {
-			fatal(err)
-		}
-		models = []workload.Model{m}
-	}
-
-	// Models fan out through the runner; each worker buffers its own
-	// progress lines so the output is printed in zoo order afterwards,
-	// identical at every -j. The first failing model (in zoo order) wins.
-	cfg := config.SmallNPU()
-	type modelReport struct {
-		layers, checks int
-		lines          []string
-		// Residency behaviour of the simulated schedules: eviction and
-		// spill counts surface scratchpad pressure next to the numeric
-		// verdicts (a schedule can be correct yet thrash the SPM).
-		spmStats spm.Stats
-		spills   int64
-	}
-	reports, err := runner.MapErr(context.Background(), models, func(_ context.Context, m workload.Model) (modelReport, error) {
-		var rep modelReport
-		for i, l := range m.Layers(2) {
-			if l.SkipDX {
-				continue
-			}
-			d := tensor.Dims{M: shrink(l.Dims.M, 64), K: shrink(l.Dims.K, 64), N: shrink(l.Dims.N, 64)}
-			tl := schedule.Tiling{
-				Tm: min(cfg.ArrayRows/4, d.M),
-				Tk: min(16, d.K),
-				Tn: min(cfg.ArrayCols/4, d.N),
-			}
-			p := schedule.TileParams{Dims: d, Tiling: tl, ElemBytes: 4, Layer: 1}
-
-			// Whole-layer schedules: structural check + numeric equivalence.
-			for _, s := range []schedule.Schedule{
-				schedule.BaselineBackward(p),
-				core.InterleaveOnly(p),
-				core.InterleaveDXMajor(p),
-				core.InterleaveDWMajor(p),
-			} {
-				if err := schedule.VerifyBackward(p, s.Ops, false); err != nil {
-					return rep, fmt.Errorf("%s layer %d (%s) %s: structure: %w", m.Abbr, i, l.Name, s.Name, err)
-				}
-				if err := core.CheckEquivalence(d, tl, s.Ops, 1e-6); err != nil {
-					return rep, fmt.Errorf("%s layer %d (%s) %s: %w", m.Abbr, i, l.Name, s.Name, err)
-				}
-				res := sim.RunSchedules(cfg, sim.Options{
-					Trace:      trace.Active(),
-					TraceLabel: m.Abbr + "/" + l.Name + " " + s.Name,
-				}, s)
-				rep.spmStats.Merge(res.SPM)
-				rep.spills += res.Spills
-				rep.checks++
-			}
-
-			// Partitioned schedules: structural check per partition (each
-			// partition is its own sub-GEMM), numeric equivalence on the
-			// concatenated stream (the cross-partition reduction happens in
-			// the executor's accumulation).
-			for _, scheme := range core.Schemes() {
-				plan := core.PartitionLayer(p, scheme, 2)
-				var ops []schedule.Op
-				for _, sub := range plan.Parts {
-					s := core.InterleaveDXMajor(sub)
-					if err := schedule.VerifyBackward(sub, s.Ops, false); err != nil {
-						return rep, fmt.Errorf("%s layer %d (%s) %v: structure: %w", m.Abbr, i, l.Name, scheme, err)
-					}
-					ops = append(ops, s.Ops...)
-				}
-				if err := core.CheckEquivalence(d, tl, ops, 1e-6); err != nil {
-					return rep, fmt.Errorf("%s layer %d (%s) %v: %w", m.Abbr, i, l.Name, scheme, err)
-				}
-				rep.checks++
-			}
-			rep.layers++
-			if *verbose {
-				rep.lines = append(rep.lines, fmt.Sprintf("  %s %-24s %-18v ok", m.Abbr, l.Name, d))
-			}
-		}
-		return rep, nil
+	err := validate.Run(validate.Options{
+		Suite:    *suiteName,
+		Model:    *modelName,
+		Verbose:  *verbose,
+		RefCheck: *refCheck,
+		Trace:    trace.Active(),
+		Out:      os.Stdout,
 	})
 	if err != nil {
 		fatal(err)
 	}
-
-	var layers, checks int
-	for i, m := range models {
-		rep := reports[i]
-		if len(rep.lines) > 0 {
-			fmt.Println(strings.Join(rep.lines, "\n"))
-		}
-		fmt.Printf("%-10s validated   residency: %d hits, %d misses, %d evictions, %d spills\n",
-			m.Abbr, rep.spmStats.Hits, rep.spmStats.Misses, rep.spmStats.Evictions, rep.spills)
-		layers += rep.layers
-		checks += rep.checks
-	}
-	fmt.Printf("\nOK: %d layers, %d schedule executions, gradients bit-match the reference\n", layers, checks)
 	if err := stopTrace(); err != nil {
 		fatal(err)
 	}

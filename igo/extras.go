@@ -1,8 +1,11 @@
 package igo
 
 import (
+	"fmt"
+
 	"igosim/internal/analytic"
 	"igosim/internal/energy"
+	"igosim/internal/proptest"
 	"igosim/internal/workload"
 )
 
@@ -32,3 +35,20 @@ func Analyze(cfg Config, l Layer) LayerAnalytic {
 // Variants lists the extra zoo models beyond the Table 4 suites
 // (bert-base, T5-base, yolo-s, res18).
 func Variants() []Model { return workload.Variants() }
+
+// SelfCheck runs a small deterministic slice of the simulator's property
+// suite — the differential-oracle, conservation, cycle-envelope and
+// partition invariants over generated cases — and returns the first
+// violation, or nil. It is an embedding sanity check: a library user (or a
+// CI job without the repository's test files) can prove the simulator
+// behaves on their platform in about a second.
+func SelfCheck() error {
+	const casesPerInvariant = 25
+	for _, inv := range proptest.Invariants() {
+		c, err := proptest.RunPure("selfcheck-"+inv.Name, casesPerInvariant, inv.Check)
+		if err != nil {
+			return fmt.Errorf("igo: self-check property %s failed on %v: %w", inv.Name, c, err)
+		}
+	}
+	return nil
+}

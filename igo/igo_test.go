@@ -190,3 +190,11 @@ func TestPublicWithTrace(t *testing.T) {
 		t.Fatalf("Report() malformed: %.80s", rep)
 	}
 }
+
+// TestSelfCheck runs the embedded property-suite slice: the differential
+// oracle and its sibling invariants must hold on this platform.
+func TestSelfCheck(t *testing.T) {
+	if err := igo.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package analytic
+
+import (
+	"fmt"
+
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+)
+
+// StreamBounds is the integer-exact compulsory-traffic floor of one op
+// stream: every distinct operand tile must be read at least once and every
+// distinct output tile written at least once, whatever the scratchpad does.
+// It is the op-stream analogue of LayerModel.CompulsoryTraffic — for a full
+// unpartitioned backward stream the two totals coincide exactly — and the
+// property suite holds every simulated run to it per tensor class.
+type StreamBounds struct {
+	// MinRead and MinWrite are per-class byte floors.
+	MinRead  [dram.NumClasses]int64
+	MinWrite [dram.NumClasses]int64
+}
+
+// BoundsOf derives the floor from the stream itself: distinct A/B operand
+// tiles by key, distinct output tiles by key. Re-fetches of spilled
+// partials and pressure writebacks are legitimately above the floor; a
+// simulated count below it is a conservation violation.
+func BoundsOf(ops []schedule.Op) StreamBounds {
+	var b StreamBounds
+	seenRead := make(map[schedule.TileKey]bool)
+	seenWrite := make(map[schedule.TileKey]bool)
+	for i := range ops {
+		for _, t := range [2]schedule.Tile{ops[i].A, ops[i].B} {
+			if !seenRead[t.Key] {
+				seenRead[t.Key] = true
+				b.MinRead[t.Key.Class] += t.Bytes
+			}
+		}
+		out := ops[i].Out
+		if !seenWrite[out.Key] {
+			seenWrite[out.Key] = true
+			b.MinWrite[out.Key.Class] += out.Bytes
+		}
+	}
+	return b
+}
+
+// TotalRead returns the summed read floor.
+func (b StreamBounds) TotalRead() int64 {
+	var s int64
+	for _, v := range b.MinRead {
+		s += v
+	}
+	return s
+}
+
+// TotalWrite returns the summed write floor.
+func (b StreamBounds) TotalWrite() int64 {
+	var s int64
+	for _, v := range b.MinWrite {
+		s += v
+	}
+	return s
+}
+
+// Check verifies a simulated traffic breakdown against the floor:
+// reads must meet the per-class minimum, and writes must *equal* it for
+// every class except the intermediate (accumulator) class, whose extra
+// writebacks are exactly the pressure spills. A free-read option (the
+// Section 3.3 limit study) breaks read conservation by design; callers
+// simulating with it should not check against BoundsOf.
+func (b StreamBounds) Check(tr dram.Traffic) error {
+	for _, c := range dram.Classes() {
+		if tr.Read[c] < b.MinRead[c] {
+			return fmt.Errorf("analytic: %v reads %d below compulsory floor %d", c, tr.Read[c], b.MinRead[c])
+		}
+		switch {
+		case c == dram.ClassAcc:
+			if tr.Write[c] < b.MinWrite[c] {
+				return fmt.Errorf("analytic: %v writes %d below compulsory floor %d", c, tr.Write[c], b.MinWrite[c])
+			}
+		case tr.Write[c] != b.MinWrite[c]:
+			return fmt.Errorf("analytic: %v writes %d, conservation requires exactly %d", c, tr.Write[c], b.MinWrite[c])
+		}
+	}
+	return nil
+}

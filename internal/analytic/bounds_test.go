@@ -1,0 +1,69 @@
+package analytic
+
+import (
+	"testing"
+
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/tensor"
+)
+
+func TestBoundsMatchLayerModel(t *testing.T) {
+	// For a full unpartitioned backward stream (XFactor unset) the
+	// op-stream floor and the closed-form compulsory traffic coincide.
+	d := tensor.Dims{M: 13, K: 9, N: 7}
+	p := schedule.TileParams{Dims: d, Tiling: schedule.Tiling{Tm: 4, Tk: 3, Tn: 2}, ElemBytes: 4, Layer: 1}
+	b := BoundsOf(schedule.BaselineBackward(p).Ops)
+
+	lm := LayerModel{Dims: d, ElemBytes: 4}
+	if got, want := float64(b.TotalRead()+b.TotalWrite()), lm.CompulsoryTraffic(); got != want {
+		t.Fatalf("stream floor %g != closed-form compulsory %g", got, want)
+	}
+	if b.MinRead[dram.ClassDY] != d.SizeY()*4 {
+		t.Fatalf("dY floor = %d, want %d", b.MinRead[dram.ClassDY], d.SizeY()*4)
+	}
+	if b.MinWrite[dram.ClassDX] != d.SizeX()*4 || b.MinWrite[dram.ClassDW] != d.SizeW()*4 {
+		t.Fatalf("write floors = dX %d dW %d", b.MinWrite[dram.ClassDX], b.MinWrite[dram.ClassDW])
+	}
+}
+
+func TestBoundsCheck(t *testing.T) {
+	p := schedule.TileParams{
+		Dims:   tensor.Dims{M: 8, K: 8, N: 8},
+		Tiling: schedule.Tiling{Tm: 4, Tk: 4, Tn: 4}, ElemBytes: 4, Layer: 1,
+	}
+	b := BoundsOf(schedule.BaselineBackward(p).Ops)
+
+	// Exactly at the floor: legal.
+	var tr dram.Traffic
+	for _, c := range dram.Classes() {
+		tr.Read[c] = b.MinRead[c]
+		tr.Write[c] = b.MinWrite[c]
+	}
+	if err := b.Check(tr); err != nil {
+		t.Fatalf("floor traffic rejected: %v", err)
+	}
+
+	// Extra reads and accumulator writebacks (spill behaviour): legal.
+	over := tr
+	over.AddRead(dram.ClassDY, 128)
+	over.AddWrite(dram.ClassAcc, 256)
+	over.AddRead(dram.ClassAcc, 256)
+	if err := b.Check(over); err != nil {
+		t.Fatalf("above-floor traffic rejected: %v", err)
+	}
+
+	// A missing read violates conservation.
+	under := tr
+	under.Read[dram.ClassW] -= 4
+	if err := b.Check(under); err == nil {
+		t.Fatal("under-floor W reads accepted")
+	}
+
+	// Writing a gradient class more than once is not a spill, it is a bug.
+	dup := tr
+	dup.AddWrite(dram.ClassDW, 64)
+	if err := b.Check(dup); err == nil {
+		t.Fatal("duplicate dW writes accepted")
+	}
+}

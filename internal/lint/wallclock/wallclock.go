@@ -2,9 +2,11 @@
 // time.Sleep) and math/rand in the simulator's cycle-accounting packages.
 // Simulated time advances only by integer cycle arithmetic; a wall-clock
 // read or RNG draw in internal/sim, internal/core, internal/spm,
-// internal/schedule, internal/dram or internal/energy would make results
-// vary run to run and break the byte-identical golden figures. Findings in
-// those packages are unsuppressable.
+// internal/schedule, internal/dram, internal/energy, internal/refmodel or
+// internal/proptest would make results vary run to run and break the
+// byte-identical golden figures (proptest's deterministic splitmix64 source
+// exists precisely so the property suite never needs math/rand). Findings
+// in those packages are unsuppressable.
 //
 // internal/runner and internal/trace legitimately observe wall-clock time
 // (worker task spans, trace timestamps); each such use must carry a
@@ -33,6 +35,7 @@ var Analyzer = &analysis.Analyzer{
 var forbidden = []string{
 	"internal/sim", "internal/core", "internal/spm",
 	"internal/schedule", "internal/dram", "internal/energy",
+	"internal/refmodel", "internal/proptest",
 }
 
 // marked packages may read the wall clock with a documented marker.

@@ -1,0 +1,310 @@
+package proptest
+
+import (
+	"testing"
+
+	"igosim/internal/refmodel"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/spm"
+	"igosim/internal/tensor"
+)
+
+// The fuzz targets decode their input bytes through the same Source /
+// GenCase pipeline the property suite samples from, so the fuzzing engine
+// mutates directly in case space: every interesting byte flip lands on a
+// shape, tiling, capacity or variant decision. Seed corpora live under
+// testdata/fuzz/<FuzzName>/ and replay as ordinary subtests in plain
+// `go test`; `make fuzz-short` runs each target's mutation loop.
+
+// FuzzBackwardSchedules holds every decoded schedule variant to the
+// structural invariant and to bit-exact oracle agreement — the two
+// properties whose violations have historically been real bugs rather than
+// spec drift.
+func FuzzBackwardSchedules(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x80, 0xff, 0x13, 0x07, 0x3a, 0x42, 0x00, 0x55, 0xaa})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := GenCase(FromBytes(data))
+		if err := CheckStructure(c); err != nil {
+			t.Fatalf("structure: %v\n  case: %v", err, c)
+		}
+		if err := CheckOracle(c); err != nil {
+			t.Fatalf("oracle: %v\n  case: %v", err, c)
+		}
+	})
+}
+
+// FuzzTilingCounts checks the tiling arithmetic every generator builds on:
+// tile extents partition each dimension exactly, the forward stream passes
+// its verifier, and each chunked partial-stationary stream is a
+// permutation of the baseline's op multiset for any chunk size, in-range
+// or not (the clamp must absorb 0, negative and oversized chunks).
+func FuzzTilingCounts(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0x1f, 0x08, 0x40, 0x02, 0x9c})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01, 0x00, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := FromBytes(data)
+		d := tensor.Dims{M: s.IntRange(1, 96), K: s.IntRange(1, 96), N: s.IntRange(1, 96)}
+		tl := schedule.Tiling{Tm: s.IntRange(1, d.M+3), Tk: s.IntRange(1, d.K+3), Tn: s.IntRange(1, d.N+3)}
+		chunk := s.IntRange(-2, 20)
+
+		mt, kt, nt := tl.Counts(d)
+		if mt < 1 || kt < 1 || nt < 1 {
+			t.Fatalf("tile grid %dx%dx%d for %v under %v", mt, kt, nt, d, tl)
+		}
+		for _, dim := range []struct {
+			tiles, tile, total int
+		}{{mt, tl.Tm, d.M}, {kt, tl.Tk, d.K}, {nt, tl.Tn, d.N}} {
+			sum := 0
+			for i := 0; i < dim.tiles; i++ {
+				e := min(dim.tile, dim.total-i*dim.tile)
+				if e <= 0 {
+					t.Fatalf("tile %d of %d has extent %d (tile %d, total %d)", i, dim.tiles, e, dim.tile, dim.total)
+				}
+				sum += e
+			}
+			if sum != dim.total {
+				t.Fatalf("tile extents sum to %d, want %d", sum, dim.total)
+			}
+		}
+
+		p := schedule.TileParams{Dims: d, Tiling: tl, ElemBytes: 4, Layer: 1}
+		if err := schedule.VerifyForward(p, schedule.Forward(p).Ops); err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		base := append(schedule.BaselineDX(p), schedule.BaselineDW(p)...)
+		for _, chunked := range [][]schedule.Op{
+			append(schedule.PartialStationaryDX(p, chunk), schedule.PartialStationaryDW(p, chunk)...),
+			append(schedule.PartialStationaryDXCols(p, chunk), schedule.PartialStationaryDWCols(p, chunk)...),
+		} {
+			if err := schedule.VerifyBackward(p, chunked, false); err != nil {
+				t.Fatalf("chunk %d: %v", chunk, err)
+			}
+			if err := sameOpMultiset(base, chunked); err != nil {
+				t.Fatalf("chunk %d: %v", chunk, err)
+			}
+		}
+	})
+}
+
+// opIdentity is the order-free identity of a tile op: its computation and
+// data movement, everything but stream position and OutFirst/OutLast
+// placement (which depend on order by design).
+type opIdentity struct {
+	kind       schedule.Kind
+	a, b, out  schedule.TileKey
+	tm, tk, tn int
+	bytes      [3]int64
+}
+
+func sameOpMultiset(want, got []schedule.Op) error {
+	count := make(map[opIdentity]int)
+	id := func(op *schedule.Op) opIdentity {
+		return opIdentity{
+			kind: op.Kind, a: op.A.Key, b: op.B.Key, out: op.Out.Key,
+			tm: op.Tm, tk: op.Tk, tn: op.Tn,
+			bytes: [3]int64{op.A.Bytes, op.B.Bytes, op.Out.Bytes},
+		}
+	}
+	for i := range want {
+		count[id(&want[i])]++
+	}
+	for i := range got {
+		k := id(&got[i])
+		count[k]--
+		if count[k] < 0 {
+			return errExtraOp(got[i])
+		}
+	}
+	if len(got) != len(want) {
+		return errOpCount(len(got), len(want))
+	}
+	return nil
+}
+
+func errExtraOp(op schedule.Op) error {
+	return &multisetError{op: &op}
+}
+
+func errOpCount(got, want int) error {
+	return &multisetError{got: got, want: want}
+}
+
+type multisetError struct {
+	op        *schedule.Op
+	got, want int
+}
+
+func (e *multisetError) Error() string {
+	if e.op != nil {
+		return "op not in baseline multiset: " + e.op.Out.Key.Class.String()
+	}
+	return "op count mismatch"
+}
+
+// FuzzSPMResidency differentially tests the production LRU (intrusive
+// list + map) against a brutally simple slice model: identical hits,
+// misses, evictions, eviction order, byte occupancy and full recency
+// ordering after every operation.
+func FuzzSPMResidency(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x10, 0x20, 0x30, 0x40})
+	f.Add([]byte{0x7f, 0x03, 0x91, 0x15, 0xe4, 0x33, 0x02, 0x58, 0x9b, 0xcc, 0xdd})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := FromBytes(data)
+		capacity := int64(s.IntRange(8, 512))
+		buf := spm.New[int](capacity)
+		ref := newRefLRU(capacity)
+
+		nops := s.IntRange(1, 200)
+		for i := 0; i < nops; i++ {
+			key := s.IntRange(0, 30)
+			switch s.Pick(4) {
+			case 0:
+				wantHit := ref.touch(key)
+				if got := buf.Touch(key); got != wantHit {
+					t.Fatalf("op %d: Touch(%d) = %v, reference says %v", i, key, got, wantHit)
+				}
+			case 1:
+				bytes := int64(s.IntRange(1, int(capacity)))
+				wantEv := ref.insert(key, bytes)
+				gotEv := buf.Insert(key, bytes)
+				if len(gotEv) != len(wantEv) {
+					t.Fatalf("op %d: Insert(%d,%d) evicted %v, reference %v", i, key, bytes, gotEv, wantEv)
+				}
+				for j := range gotEv {
+					if gotEv[j] != wantEv[j] {
+						t.Fatalf("op %d: eviction order %v, reference %v", i, gotEv, wantEv)
+					}
+				}
+			case 2:
+				want := ref.remove(key)
+				if got := buf.Remove(key); got != want {
+					t.Fatalf("op %d: Remove(%d) = %v, reference says %v", i, key, got, want)
+				}
+			default:
+				want := ref.contains(key)
+				if got := buf.Contains(key); got != want {
+					t.Fatalf("op %d: Contains(%d) = %v, reference says %v", i, key, got, want)
+				}
+			}
+
+			if buf.Used() != ref.used() {
+				t.Fatalf("op %d: used %d, reference %d", i, buf.Used(), ref.used())
+			}
+			if buf.Len() != len(ref.entries) {
+				t.Fatalf("op %d: len %d, reference %d", i, buf.Len(), len(ref.entries))
+			}
+			gotKeys := buf.Keys()
+			if len(gotKeys) != len(ref.entries) {
+				t.Fatalf("op %d: Keys() has %d entries, reference %d", i, len(gotKeys), len(ref.entries))
+			}
+			for j, k := range gotKeys {
+				if k != ref.entries[j].key {
+					t.Fatalf("op %d: recency order %v, reference %v", i, gotKeys, ref.keyList())
+				}
+			}
+		}
+		if buf.Stats != (spm.Stats{Hits: ref.hits, Misses: ref.misses, Evictions: ref.evictions}) {
+			t.Fatalf("stats %+v, reference hits %d misses %d evictions %d",
+				buf.Stats, ref.hits, ref.misses, ref.evictions)
+		}
+	})
+}
+
+// refLRU is the naive reference: a slice ordered most-recently-used first.
+type refLRU struct {
+	capacity                int64
+	entries                 []refEntry
+	hits, misses, evictions int64
+}
+
+type refEntry struct {
+	key   int
+	bytes int64
+}
+
+func newRefLRU(capacity int64) *refLRU { return &refLRU{capacity: capacity} }
+
+func (r *refLRU) find(key int) int {
+	for i, e := range r.entries {
+		if e.key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refLRU) used() int64 {
+	var u int64
+	for _, e := range r.entries {
+		u += e.bytes
+	}
+	return u
+}
+
+func (r *refLRU) contains(key int) bool { return r.find(key) >= 0 }
+
+func (r *refLRU) touch(key int) bool {
+	i := r.find(key)
+	if i < 0 {
+		r.misses++
+		return false
+	}
+	r.hits++
+	e := r.entries[i]
+	r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	r.entries = append([]refEntry{e}, r.entries...)
+	return true
+}
+
+func (r *refLRU) insert(key int, bytes int64) []int {
+	if i := r.find(key); i >= 0 {
+		e := r.entries[i]
+		r.entries = append(r.entries[:i], r.entries[i+1:]...)
+		r.entries = append([]refEntry{e}, r.entries...)
+		return nil
+	}
+	var evicted []int
+	for r.used()+bytes > r.capacity && len(r.entries) > 0 {
+		last := r.entries[len(r.entries)-1]
+		r.entries = r.entries[:len(r.entries)-1]
+		r.evictions++
+		evicted = append(evicted, last.key)
+	}
+	r.entries = append([]refEntry{{key: key, bytes: bytes}}, r.entries...)
+	return evicted
+}
+
+func (r *refLRU) remove(key int) bool {
+	i := r.find(key)
+	if i < 0 {
+		return false
+	}
+	r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	return true
+}
+
+func (r *refLRU) keyList() []int {
+	out := make([]int, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.key
+	}
+	return out
+}
+
+// TestRefmodelSmoke keeps one direct compile-time dependency on refmodel's
+// exported API in this package's tests so `go test ./internal/proptest/`
+// fails loudly if the oracle's surface drifts from what CheckOracle needs.
+func TestRefmodelSmoke(t *testing.T) {
+	t.Parallel()
+	c := GenCase(NewSource(1))
+	got := sim.RunSchedules(c.Config(), sim.Options{}, c.Schedules()...)
+	want := refmodel.ReplaySchedules(c.Config(), refmodel.Options{}, c.Schedules()...)
+	if err := refmodel.Compare(got, want); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+package proptest
+
+import (
+	"fmt"
+
+	"igosim/internal/analytic"
+	"igosim/internal/core"
+	"igosim/internal/dram"
+	"igosim/internal/refmodel"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/trace"
+)
+
+// Invariant is one property every generated case must satisfy. The check
+// returns a descriptive error naming the violated relation; the runner
+// attaches the (shrunk) case.
+type Invariant struct {
+	Name  string
+	Check func(Case) error
+}
+
+// Invariants returns the differential property suite. Ordering is by cost:
+// the cheap structural checks run first so a shrink loop on a structural
+// failure never pays for simulations.
+func Invariants() []Invariant {
+	return []Invariant{
+		{"structure", CheckStructure},
+		{"oracle", CheckOracle},
+		{"cycle-bounds", CheckCycleBounds},
+		{"conservation", CheckConservation},
+		{"partition", CheckPartition},
+		{"dy-reuse", CheckDYReuse},
+	}
+}
+
+// CheckStructure verifies the generated schedule variant is a well-formed
+// backward pass: the stream passes schedule.VerifyBackward and numerically
+// reproduces the reference gradients (every variant is a pure reordering of
+// the same tile operations).
+func CheckStructure(c Case) error {
+	ops := c.AllOps()
+	if len(ops) == 0 {
+		return fmt.Errorf("variant produced an empty stream")
+	}
+	if err := schedule.VerifyBackward(c.Params(), ops, false); err != nil {
+		return err
+	}
+	return core.CheckEquivalence(c.Dims, c.Tiling, ops, 1e-8)
+}
+
+// CheckOracle replays the case's kernel stream through the internal/refmodel
+// interpreter and demands bit-exact agreement with internal/sim on every
+// counter: cycles, per-class traffic, residency stats and spills. Both the
+// default engine semantics and the Section 3.3 free-dY limit study are
+// compared.
+func CheckOracle(c Case) error {
+	cfg := c.Config()
+	scheds := c.Schedules()
+	for _, free := range []bool{false, true} {
+		got := sim.RunSchedules(cfg, sim.Options{FreeDYOnDW: free}, scheds...)
+		want := refmodel.ReplaySchedules(cfg, refmodel.Options{FreeDYOnDW: free}, scheds...)
+		if err := refmodel.Compare(got, want); err != nil {
+			return fmt.Errorf("freeDY=%v: %w", free, err)
+		}
+	}
+	return nil
+}
+
+// CheckCycleBounds verifies the pipeline makespan sits inside its analytic
+// envelope — at least the busier stage, at most the sum of both stages (a
+// two-stage pipeline is always at least serially correct and never slower
+// than unoverlapped execution) — and that the cycle-level trace reconciles
+// with the result counters to the cycle.
+func CheckCycleBounds(c Case) error {
+	cfg := c.Config()
+	scheds := c.Schedules()
+	snk := trace.New()
+	r := sim.RunSchedules(cfg, sim.Options{Trace: snk, TraceLabel: "proptest"}, scheds...)
+
+	if r.Cycles < max(r.ComputeCycles, r.MemCycles) {
+		return fmt.Errorf("makespan %d below stage maximum max(comp %d, mem %d)",
+			r.Cycles, r.ComputeCycles, r.MemCycles)
+	}
+	if r.Cycles > r.ComputeCycles+r.MemCycles {
+		return fmt.Errorf("makespan %d exceeds unoverlapped bound comp %d + mem %d",
+			r.Cycles, r.ComputeCycles, r.MemCycles)
+	}
+	var wantOps int64
+	for _, s := range scheds {
+		wantOps += int64(len(s.Ops))
+	}
+	if r.Ops != wantOps {
+		return fmt.Errorf("result counts %d ops, stream has %d", r.Ops, wantOps)
+	}
+	if err := snk.Check(); err != nil {
+		return err
+	}
+	m := snk.Metrics()
+	if m.Cycles != r.Cycles || m.Ops != r.Ops || m.Spills != r.Spills {
+		return fmt.Errorf("trace metrics (cycles %d ops %d spills %d) disagree with result (cycles %d ops %d spills %d)",
+			m.Cycles, m.Ops, m.Spills, r.Cycles, r.Ops, r.Spills)
+	}
+	return nil
+}
+
+// CheckConservation holds simulated traffic to the op stream's
+// compulsory-traffic floor: per class, reads at or above the floor, writes
+// exactly at it (accumulator spill writebacks excepted).
+func CheckConservation(c Case) error {
+	r := sim.RunSchedules(c.Config(), sim.Options{}, c.Schedules()...)
+	return analytic.BoundsOf(c.AllOps()).Check(r.Traffic)
+}
+
+// CheckDYReuse is the paper's headline claim as an executable property: with
+// enough scratchpad for the working set of one interleaved block, the
+// rearranged orders (dXmajor / dWmajor, chunked or not) read every dY tile
+// from DRAM exactly once, while the conventional two-kernel baseline reads
+// the whole of dY once per gradient. The capacity premise matters — under
+// heavy pressure a rearranged order can thrash like any other — so the
+// check runs on the case relaxed to an eight-tile scratchpad floor, which
+// covers the at-most-six-tile gap between consecutive uses of a dY tile
+// inside one rearranged block. The plain interleave (no reordering) carries
+// no such guarantee and is held only to the compulsory floor.
+func CheckDYReuse(c Case) error {
+	rc := c.Relaxed()
+	cfg := rc.Config()
+	p := rc.Params()
+
+	base := sim.RunSchedules(cfg, sim.Options{},
+		schedule.Schedule{Name: "dx-kernel", Ops: schedule.BaselineDX(p)},
+		schedule.Schedule{Name: "dw-kernel", Ops: schedule.BaselineDW(p)},
+	)
+	baseDY := base.Traffic.Read[dram.ClassDY]
+	distinctDY := analytic.BoundsOf(schedule.BaselineDX(p)).MinRead[dram.ClassDY]
+
+	// The baseline's two flushed kernels each stream dY at least once.
+	if baseDY < 2*distinctDY {
+		return fmt.Errorf("two-kernel baseline read %d dY bytes, below the 2x floor %d", baseDY, 2*distinctDY)
+	}
+
+	rearranged := []schedule.Schedule{
+		core.InterleaveDXMajor(p),
+		core.InterleaveDWMajor(p),
+		core.InterleaveDXMajorChunked(p, rc.Chunk),
+		core.InterleaveDWMajorChunked(p, rc.Chunk),
+	}
+	for _, s := range rearranged {
+		r := sim.RunSchedules(cfg, sim.Options{}, s)
+		dy := r.Traffic.Read[dram.ClassDY]
+		if dy != distinctDY {
+			return fmt.Errorf("%s read %d dY bytes, want exactly the distinct-tile floor %d", s.Name, dy, distinctDY)
+		}
+		if dy > baseDY {
+			return fmt.Errorf("%s read %d dY bytes, more than the two-kernel baseline %d", s.Name, dy, baseDY)
+		}
+	}
+
+	il := sim.RunSchedules(cfg, sim.Options{}, core.InterleaveOnly(p))
+	if dy := il.Traffic.Read[dram.ClassDY]; dy < distinctDY {
+		return fmt.Errorf("interleave-only read %d dY bytes, below compulsory floor %d", dy, distinctDY)
+	}
+	return nil
+}
+
+// CheckPartition verifies the Figure 11 partitioning machinery: the plan
+// reassembles the parent dimensions, every partition's stream is a valid
+// backward pass for its sub-shape, the union of partition streams covers
+// the parent tile grid exactly once per gradient, and executing all
+// partitions together reproduces the reference gradients (the reduction of
+// partial outputs is implicit in accumulation).
+func CheckPartition(c Case) error {
+	p := c.Params()
+	plan := core.PartitionLayer(p, c.Scheme, c.Parts)
+	if n := len(plan.Parts); n < 1 || n > c.Parts {
+		return fmt.Errorf("%v plan has %d partitions, requested at most %d", c.Scheme, n, c.Parts)
+	}
+	if got := plan.Dims(); got != c.Dims {
+		return fmt.Errorf("%v plan dims %v do not reassemble parent %v", c.Scheme, got, c.Dims)
+	}
+	streams := make([][]schedule.Op, len(plan.Parts))
+	for i, sub := range plan.Parts {
+		s := core.Interleaved(sub, core.SelectOrder(sub.Dims))
+		if err := schedule.VerifyBackward(sub, s.Ops, false); err != nil {
+			return fmt.Errorf("%v partition %d: %w", c.Scheme, i, err)
+		}
+		streams[i] = s.Ops
+	}
+	if err := CheckCoverage(c.Dims, c.Tiling, streams); err != nil {
+		return fmt.Errorf("%v x%d: %w", c.Scheme, c.Parts, err)
+	}
+	var combined []schedule.Op
+	for _, ops := range streams {
+		combined = append(combined, ops...)
+	}
+	if err := core.CheckEquivalence(c.Dims, c.Tiling, combined, 1e-8); err != nil {
+		return fmt.Errorf("%v x%d: %w", c.Scheme, c.Parts, err)
+	}
+	return nil
+}
+
+// gridPoint identifies one (m,k,n) tile-grid op of one gradient in parent
+// coordinates.
+type gridPoint struct {
+	kind       schedule.Kind
+	mo, ko, no int32
+}
+
+// parentCoords recovers the parent tile-grid coordinates of a backward op
+// from its operand keys (which partitioned generators emit in parent-grid
+// coordinates by construction).
+func parentCoords(op *schedule.Op) (gridPoint, error) {
+	switch op.Kind {
+	case schedule.KindDX:
+		// A = dY[mo,no], B = W[ko,no]
+		return gridPoint{kind: schedule.KindDX, mo: op.A.Key.Row, no: op.A.Key.Col, ko: op.B.Key.Row}, nil
+	case schedule.KindDW:
+		// A = X[mo,ko], B = dY[mo,no]
+		return gridPoint{kind: schedule.KindDW, mo: op.A.Key.Row, ko: op.A.Key.Col, no: op.B.Key.Col}, nil
+	default:
+		return gridPoint{}, fmt.Errorf("op kind %v has no backward grid point", op.Kind)
+	}
+}
+
+// CheckCoverage verifies a set of op streams covers the parent backward
+// tile grid exactly once: each of the mt*kt*nt grid points appears exactly
+// once per gradient across all streams, never twice and never zero times.
+// The multicore partition tests reuse this to prove split streams neither
+// drop nor duplicate work.
+func CheckCoverage(d schedule.Dims, t schedule.Tiling, streams [][]schedule.Op) error {
+	mt, kt, nt := t.Counts(d)
+	seen := make(map[gridPoint]int)
+	for si, ops := range streams {
+		for i := range ops {
+			gp, err := parentCoords(&ops[i])
+			if err != nil {
+				return fmt.Errorf("stream %d op %d: %w", si, i, err)
+			}
+			if int(gp.mo) >= mt || int(gp.ko) >= kt || int(gp.no) >= nt || gp.mo < 0 || gp.ko < 0 || gp.no < 0 {
+				return fmt.Errorf("stream %d op %d grid point (%d,%d,%d) outside parent grid %dx%dx%d",
+					si, i, gp.mo, gp.ko, gp.no, mt, kt, nt)
+			}
+			seen[gp]++
+			if seen[gp] > 1 {
+				return fmt.Errorf("stream %d op %d: %v grid point (%d,%d,%d) covered twice",
+					si, i, gp.kind, gp.mo, gp.ko, gp.no)
+			}
+		}
+	}
+	want := 2 * mt * kt * nt
+	if len(seen) != want {
+		return fmt.Errorf("streams cover %d grid points, want %d (%dx%dx%d per gradient)",
+			len(seen), want, mt, kt, nt)
+	}
+	return nil
+}

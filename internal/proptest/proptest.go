@@ -1,0 +1,77 @@
+package proptest
+
+import (
+	"os"
+	"strconv"
+)
+
+// Failer is the slice of *testing.T the runner needs. Depending on an
+// interface instead of the testing package keeps proptest importable from
+// non-test code (the igo facade's self-check), which the testing package
+// prohibits.
+type Failer interface {
+	Helper()
+	Logf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// seedEnv overrides the per-property deterministic seed, to replay a
+// failure from another machine or widen a local search:
+//
+//	IGOSIM_PROPTEST_SEED=12345 go test ./internal/proptest/
+const seedEnv = "IGOSIM_PROPTEST_SEED"
+
+// shrinkBudget caps predicate evaluations during counterexample
+// minimisation. Shrinking only runs after a failure, so the budget trades
+// minimality against how long a red test takes to print.
+const shrinkBudget = 400
+
+// seedFor derives the deterministic base seed of a named property: an
+// FNV-1a hash of the name, so every property explores its own case
+// sequence and adding a property never perturbs the others.
+func seedFor(name string) uint64 {
+	seed := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		seed = (seed ^ uint64(name[i])) * 0x100000001b3
+	}
+	if s := os.Getenv(seedEnv); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			seed ^= v
+		}
+	}
+	return seed
+}
+
+// Run checks an invariant against n generated cases. On the first failure
+// it shrinks the counterexample to a local minimum and fails the test with
+// the minimal case, its seed and the original error. Generation is
+// deterministic per property name (see seedFor), so a red run reproduces
+// everywhere.
+func Run(f Failer, name string, n int, check func(Case) error) {
+	f.Helper()
+	c, err := RunPure(name, n, check)
+	if err == nil {
+		return
+	}
+	f.Logf("property %s: set %s to reproduce this exact sequence", name, seedEnv)
+	f.Fatalf("property %s violated\n  minimal case: %v\n  error: %v", name, c, err)
+}
+
+// RunPure is the engine behind Run without the testing affordances: it
+// returns the shrunk counterexample and its error, or a nil error if all n
+// cases pass. Non-test callers (igo.SelfCheck) use it directly.
+func RunPure(name string, n int, check func(Case) error) (Case, error) {
+	seed := seedFor(name)
+	for i := 0; i < n; i++ {
+		// One independent source per case: a failure reproduces from
+		// (name, i) alone, not from the draw history of earlier cases.
+		c := GenCase(NewSource(seed + uint64(i)))
+		if check(c) == nil {
+			continue
+		}
+		fails := func(m Case) bool { return check(m) != nil }
+		min := Shrink(c, fails, shrinkBudget)
+		return min, check(min)
+	}
+	return Case{}, nil
+}

@@ -1,0 +1,97 @@
+// Package proptest is the property-based verification layer of the
+// simulator (DESIGN.md §3f): a stdlib-only generator/shrinker for random
+// GEMM shapes, NPU configurations, tilings and schedule variants, plus the
+// differential invariants every generated case must satisfy — chief among
+// them bit-exact agreement between internal/sim and the internal/refmodel
+// oracle. The same generators back the native fuzz targets in this
+// package's test files, so `go test -fuzz` explores exactly the case space
+// the property suite samples.
+package proptest
+
+import "encoding/binary"
+
+// Source is a deterministic value source. It draws either from a PRNG
+// (property-test mode, NewSource) or from a caller-supplied byte string
+// first (fuzz mode, FromBytes) — the fuzzing engine then mutates the bytes
+// and thereby steers generation. The PRNG is a self-contained splitmix64 so
+// generation is reproducible everywhere and no package in the module needs
+// math/rand (see internal/lint/wallclock).
+type Source struct {
+	data  []byte
+	off   int
+	state uint64
+}
+
+// NewSource returns a PRNG-backed source for the given seed.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// FromBytes returns a source that consumes data byte-by-byte and falls back
+// to a PRNG seeded from the data's fold once exhausted, so short fuzz
+// inputs still decode to complete cases.
+func FromBytes(data []byte) *Source {
+	s := &Source{data: data}
+	for _, b := range data {
+		s.state = (s.state ^ uint64(b)) * 0x100000001b3 // FNV-1a fold
+	}
+	return s
+}
+
+// mix is one splitmix64 step.
+func (s *Source) mix() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// byteAt returns the next raw byte: payload bytes while they last, then
+// PRNG bytes.
+func (s *Source) byteAt() byte {
+	if s.off < len(s.data) {
+		b := s.data[s.off]
+		s.off++
+		return b
+	}
+	return byte(s.mix())
+}
+
+// Uint64 returns the next 64-bit draw.
+func (s *Source) Uint64() uint64 {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = s.byteAt()
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// IntRange returns a draw in [lo, hi]. Degenerate ranges return lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	span := uint64(hi - lo + 1)
+	return lo + int(s.Uint64()%span)
+}
+
+// Int63Range returns an int64 draw in [lo, hi].
+func (s *Source) Int63Range(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	span := uint64(hi-lo) + 1
+	return lo + int64(s.Uint64()%span)
+}
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
+
+// Pick returns an index in [0, n).
+func (s *Source) Pick(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(s.Uint64() % uint64(n))
+}

@@ -1,0 +1,40 @@
+package refmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"igosim/internal/dram"
+	"igosim/internal/sim"
+)
+
+// Compare checks a simulator result against the oracle's counts and returns
+// a descriptive error listing every field that disagrees, or nil when the
+// two are bit-identical. The comparison is exact: the engine and the oracle
+// consume the same hardware cost primitives, so even cycle counts must
+// match to the last digit.
+func Compare(got sim.Result, want Counts) error {
+	var diffs []string
+	add := func(field string, g, w int64) {
+		if g != w {
+			diffs = append(diffs, fmt.Sprintf("%s: sim %d, oracle %d", field, g, w))
+		}
+	}
+	add("Cycles", got.Cycles, want.Cycles)
+	add("ComputeCycles", got.ComputeCycles, want.ComputeCycles)
+	add("MemCycles", got.MemCycles, want.MemCycles)
+	add("Ops", got.Ops, want.Ops)
+	add("SPM.Hits", got.SPM.Hits, want.Hits)
+	add("SPM.Misses", got.SPM.Misses, want.Misses)
+	add("SPM.Evictions", got.SPM.Evictions, want.Evictions)
+	add("Spills", got.Spills, want.Spills)
+	for _, c := range dram.Classes() {
+		add(fmt.Sprintf("Traffic.Read[%v]", c), got.Traffic.Read[c], want.Traffic.Read[c])
+		add(fmt.Sprintf("Traffic.Write[%v]", c), got.Traffic.Write[c], want.Traffic.Write[c])
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("refmodel: simulator disagrees with oracle on %d field(s): %s",
+		len(diffs), strings.Join(diffs, "; "))
+}

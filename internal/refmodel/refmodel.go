@@ -1,0 +1,333 @@
+// Package refmodel is the differential oracle for the cycle simulator: a
+// deliberately slow, obviously-correct reference interpreter that replays a
+// tile-op stream ([]schedule.Op) against a fully-associative LRU scratchpad
+// with exact byte accounting and reports independent traffic, hit/miss,
+// eviction, spill and cycle counts.
+//
+// The oracle re-derives everything observable from the op-stream semantics
+// (DESIGN.md §3f): which accesses hit or miss, what traffic each miss and
+// writeback generates, which live partial sums spill under pressure, and
+// how the two-stage double-buffered pipeline advances. Only the primitive
+// hardware cost functions — dram.Channel.TransferCycles and
+// systolic.Array.TileCycles — are shared with the engine: they are model
+// parameters, not engine logic, and sharing them keeps the comparison
+// bit-exact instead of bit-close.
+//
+// internal/sim is the fast engine; this package is the slow specification.
+// Every counter the two produce must agree bit-exactly on every op stream
+// (internal/proptest asserts this on hundreds of random cases per run, and
+// `validate -refcheck` on every golden workload). The implementations are
+// kept structurally different on purpose: the engine threads accounting
+// through an incremental step function and an intrusive-list LRU, while the
+// oracle lowers each op to an explicit access list and replays it against
+// an O(n)-scan residency slice.
+package refmodel
+
+import (
+	"fmt"
+
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/systolic"
+)
+
+// Options mirrors the sim.Options knobs that change simulation results.
+// Observability options (tracing) have no counterpart here: the oracle is
+// the thing results are checked against, so it carries none.
+type Options struct {
+	// FreeDYOnDW makes dY reads issued by dW-side operations free, matching
+	// the Section 3.3 limit study in sim.Options.
+	FreeDYOnDW bool
+}
+
+// Counts is the oracle's independent tally of one replay. Field for field
+// it mirrors sim.Result (with spm.Stats flattened) so the two can be
+// compared exactly; see Compare.
+type Counts struct {
+	Cycles        int64
+	ComputeCycles int64
+	MemCycles     int64
+	Traffic       dram.Traffic
+	Ops           int64
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Spills        int64
+}
+
+// accessKind labels one scratchpad access lowered from a tile op.
+type accessKind uint8
+
+const (
+	// accAlloc places a partial-sum output tile without fetching it.
+	accAlloc accessKind = iota
+	// accLoad requires the tile resident, fetching it on a miss.
+	accLoad
+	// accLoadFree is accLoad with the fetch traffic waived (limit study).
+	accLoadFree
+	// accDrain writes the finished output tile back and frees it.
+	accDrain
+)
+
+// access is one scratchpad access: a tile plus what must happen to it.
+type access struct {
+	kind  accessKind
+	tile  schedule.Tile
+	class dram.Class // traffic class charged on fetch (loads only)
+	live  bool       // allocs only: tile is a live partial after this op
+}
+
+// lower translates one tile op into its ordered access list — the
+// specification of what Engine.step does, written as data. The order
+// matters: it fixes LRU recency and therefore who gets evicted.
+func lower(op *schedule.Op, free bool) []access {
+	acc := make([]access, 0, 4)
+	if op.OutFirst {
+		acc = append(acc, access{kind: accAlloc, tile: op.Out, live: !op.OutLast})
+	} else {
+		// Re-accumulation: the partial must be resident; a miss means it was
+		// spilled earlier and is fetched back as intermediate traffic.
+		acc = append(acc, access{kind: accLoad, tile: op.Out, class: dram.ClassAcc})
+	}
+	for _, t := range [2]schedule.Tile{op.A, op.B} {
+		k := accLoad
+		if free && op.Kind == schedule.KindDW && t.Key.Class == dram.ClassDY {
+			k = accLoadFree
+		}
+		acc = append(acc, access{kind: k, tile: t, class: t.Key.Class})
+	}
+	if op.OutLast {
+		acc = append(acc, access{kind: accDrain, tile: op.Out})
+	}
+	return acc
+}
+
+// Replay is the reference interpreter. Like sim.Engine, scratchpad state
+// persists across Run calls; Flush models a kernel boundary.
+type Replay struct {
+	arr  systolic.Array
+	chn  dram.Channel
+	spm  *lruSet
+	live map[schedule.TileKey]int64
+	opts Options
+
+	// Two-stage pipeline recurrence (double buffering, prefetch depth 2).
+	memDone     int64
+	compDone    int64
+	prevCompEnd int64
+
+	c Counts
+}
+
+// New builds a reference interpreter for cfg. The residency capacity is the
+// streaming half of the scratchpad, exactly as the engine models it.
+func New(cfg config.NPU, opts Options) *Replay {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Replay{
+		arr: systolic.New(cfg),
+		chn: dram.Channel{
+			BytesPerCycle: cfg.BytesPerCycle(),
+			BurstLatency:  cfg.DRAMLatency,
+		},
+		spm:  newLRUSet(cfg.SPMBytes / 2),
+		live: make(map[schedule.TileKey]int64),
+		opts: opts,
+	}
+}
+
+// Flush empties the scratchpad without touching pipeline time or counters —
+// the kernel boundary between schedules.
+func (r *Replay) Flush() {
+	r.spm.flush()
+	clear(r.live)
+}
+
+// Counts returns the accumulated tallies of all Run calls.
+func (r *Replay) Counts() Counts {
+	c := r.c
+	c.Cycles = r.compDone
+	c.Hits = r.spm.hits
+	c.Misses = r.spm.misses
+	c.Evictions = r.spm.evictions
+	return c
+}
+
+// Run replays one op stream, continuing the pipeline from previous calls.
+func (r *Replay) Run(ops []schedule.Op) {
+	for i := range ops {
+		r.step(&ops[i])
+	}
+}
+
+// step replays a single tile op: lower it to accesses, apply them to the
+// residency set while tallying traffic, then advance the pipeline.
+func (r *Replay) step(op *schedule.Op) {
+	var fetchBytes, writeBytes, spillBytes int64
+	var bursts, spillBursts int
+
+	place := func(t schedule.Tile) {
+		for _, v := range r.spm.insert(t.Key, t.Bytes) {
+			bytes, isLive := r.live[v]
+			if !isLive {
+				continue // clean tile: dropping it costs nothing
+			}
+			spillBytes += bytes
+			spillBursts++
+			r.c.Traffic.AddWrite(dram.ClassAcc, bytes)
+			r.c.Spills++
+		}
+	}
+
+	for _, a := range lower(op, r.opts.FreeDYOnDW) {
+		switch a.kind {
+		case accAlloc:
+			if a.live {
+				r.live[a.tile.Key] = a.tile.Bytes
+			}
+			place(a.tile)
+		case accLoad, accLoadFree:
+			if r.spm.touch(a.tile.Key) {
+				continue
+			}
+			if a.kind == accLoad {
+				fetchBytes += a.tile.Bytes
+				bursts++
+				r.c.Traffic.AddRead(a.class, a.tile.Bytes)
+			}
+			place(a.tile)
+		case accDrain:
+			writeBytes += a.tile.Bytes
+			bursts++
+			r.c.Traffic.AddWrite(a.tile.Key.Class, a.tile.Bytes)
+			r.spm.remove(a.tile.Key)
+			delete(r.live, a.tile.Key)
+		}
+	}
+
+	memCycles := r.chn.TransferCycles(fetchBytes+writeBytes+spillBytes, bursts+spillBursts)
+	compCycles := r.arr.TileCycles(op.Tm, op.Tk, op.Tn)
+
+	// The DMA stage may run at most one op ahead of compute.
+	memEnd := max(r.memDone, r.prevCompEnd) + memCycles
+	compEnd := max(r.compDone, memEnd) + compCycles
+	r.memDone = memEnd
+	r.prevCompEnd = r.compDone
+	r.compDone = compEnd
+
+	r.c.ComputeCycles += compCycles
+	r.c.MemCycles += memCycles
+	r.c.Ops++
+}
+
+// ReplaySchedules replays the given schedules in order on a fresh
+// interpreter, flushing the scratchpad at each schedule boundary — the
+// oracle twin of sim.RunSchedules.
+func ReplaySchedules(cfg config.NPU, opts Options, scheds ...schedule.Schedule) Counts {
+	r := New(cfg, opts)
+	for i, s := range scheds {
+		if i > 0 {
+			r.Flush()
+		}
+		r.Run(s.Ops)
+	}
+	return r.Counts()
+}
+
+// lruSet is the oracle's fully-associative byte-capacity LRU residency set:
+// a plain slice ordered most-recently-used first, manipulated with O(n)
+// scans. Slow and obviously correct — the point of this package.
+type lruSet struct {
+	capacity int64
+	used     int64
+	order    []lruEntry // index 0 is most recently used
+
+	hits, misses, evictions int64
+}
+
+type lruEntry struct {
+	key   schedule.TileKey
+	bytes int64
+}
+
+func newLRUSet(capacity int64) *lruSet {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("refmodel: invalid capacity %d", capacity))
+	}
+	return &lruSet{capacity: capacity}
+}
+
+// find returns the position of key in the recency order, or -1.
+func (l *lruSet) find(key schedule.TileKey) int {
+	for i := range l.order {
+		if l.order[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// front moves the entry at position i to the most-recently-used slot.
+func (l *lruSet) front(i int) {
+	e := l.order[i]
+	copy(l.order[1:i+1], l.order[:i])
+	l.order[0] = e
+}
+
+// touch marks key most recently used if resident, counting a hit or miss.
+func (l *lruSet) touch(key schedule.TileKey) bool {
+	i := l.find(key)
+	if i < 0 {
+		l.misses++
+		return false
+	}
+	l.hits++
+	l.front(i)
+	return true
+}
+
+// insert places key, evicting from the least-recently-used end until it
+// fits, and returns the evicted keys oldest-first. Inserting a resident key
+// only refreshes recency. Neither a hit nor a miss is counted: residency
+// checks happen in touch, placement here.
+func (l *lruSet) insert(key schedule.TileKey, bytes int64) []schedule.TileKey {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("refmodel: invalid tile size %d", bytes))
+	}
+	if bytes > l.capacity {
+		panic(fmt.Sprintf("refmodel: tile of %d bytes exceeds capacity %d", bytes, l.capacity))
+	}
+	if i := l.find(key); i >= 0 {
+		l.front(i)
+		return nil
+	}
+	var evicted []schedule.TileKey
+	for l.used+bytes > l.capacity && len(l.order) > 0 {
+		last := l.order[len(l.order)-1]
+		l.order = l.order[:len(l.order)-1]
+		l.used -= last.bytes
+		l.evictions++
+		evicted = append(evicted, last.key)
+	}
+	l.order = append([]lruEntry{{key: key, bytes: bytes}}, l.order...)
+	l.used += bytes
+	return evicted
+}
+
+// remove drops key from the set if resident.
+func (l *lruSet) remove(key schedule.TileKey) {
+	i := l.find(key)
+	if i < 0 {
+		return
+	}
+	l.used -= l.order[i].bytes
+	l.order = append(l.order[:i], l.order[i+1:]...)
+}
+
+// flush empties the set, preserving counters.
+func (l *lruSet) flush() {
+	l.order = nil
+	l.used = 0
+}

@@ -148,6 +148,17 @@ func (b *Buffer[K]) Flush() int {
 // ResetStats zeroes the hit/miss/eviction counters.
 func (b *Buffer[K]) ResetStats() { b.Stats = Stats{} }
 
+// Keys returns the resident keys in recency order, most recently used
+// first. Differential tests use it to compare the buffer's full LRU state
+// against an independently-modelled reference, not just the byte totals.
+func (b *Buffer[K]) Keys() []K {
+	keys := make([]K, 0, len(b.entries))
+	for n := b.head; n != nil; n = n.next {
+		keys = append(keys, n.key)
+	}
+	return keys
+}
+
 func (b *Buffer[K]) pushFront(n *node[K]) {
 	n.prev = nil
 	n.next = b.head

@@ -196,3 +196,22 @@ func TestOnChangeObservesEveryMutation(t *testing.T) {
 		}
 	}
 }
+
+func TestKeysRecencyOrder(t *testing.T) {
+	b := New[string](100)
+	b.Insert("a", 10)
+	b.Insert("b", 10)
+	b.Insert("c", 10)
+	if got := b.Keys(); len(got) != 3 || got[0] != "c" || got[1] != "b" || got[2] != "a" {
+		t.Fatalf("Keys() = %v, want [c b a]", got)
+	}
+	// Touching refreshes recency; removing drops the key from the order.
+	b.Touch("a")
+	b.Remove("b")
+	if got := b.Keys(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("Keys() after touch/remove = %v, want [a c]", got)
+	}
+	if b.Flush(); len(b.Keys()) != 0 {
+		t.Fatalf("Keys() after flush = %v, want empty", b.Keys())
+	}
+}
