@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet lint ci golden trace-check fuzz-short cover
+.PHONY: build test race bench bench-json vet lint ci golden trace-check fuzz-short cover
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# Machine-readable perf trajectory (DESIGN.md §3g): BENCH_compiled.json
+# records ns/op, allocs/op and simulated-DRAM MB/s for the compiled-vs-
+# interpreted engine benchmarks. CI runs one iteration per benchmark —
+# enough to prove the harness and refresh the artifact; quote numbers from
+# a longer run (`make bench-json BENCHTIME=2s`).
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_compiled.json
+
 # Observability gate: the disabled trace path must not allocate or change
 # results, and the Chrome-trace export must match the goldens byte for byte
 # (regenerate with `go test ./internal/trace/ -run Golden -update`).
@@ -40,12 +49,13 @@ lint:
 # Native fuzzing against the property-suite generators (DESIGN.md §3f).
 # The seed corpus lives in internal/proptest/testdata/fuzz/; 30 seconds per
 # target is enough to replay it and mutate a few hundred thousand inputs.
-# Go allows one -fuzz pattern per invocation, hence three runs.
+# Go allows one -fuzz pattern per invocation, hence four runs.
 FUZZTIME ?= 30s
 fuzz-short:
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzBackwardSchedules$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzTilingCounts$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzSPMResidency$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzCompiledEngine$$' -fuzztime $(FUZZTIME)
 
 # Coverage profile across all packages; prints the total percentage that
 # README.md records under "Testing".
@@ -53,7 +63,7 @@ cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-ci: vet build race bench trace-check lint cover fuzz-short
+ci: vet build race bench bench-json trace-check lint cover fuzz-short
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

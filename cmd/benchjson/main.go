@@ -1,0 +1,96 @@
+// Command benchjson runs the end-to-end engine benchmarks (internal/bench,
+// the same bodies behind BenchmarkCompiledEngine) through testing.Benchmark
+// and writes a machine-readable summary so the perf trajectory is tracked
+// across PRs. The output records, per benchmark, ns/op, allocs/op and
+// simulated-DRAM MB/s, plus the headline interpreted-vs-compiled speedup
+// and allocation ratios the acceptance criteria gate on.
+//
+// Usage:
+//
+//	benchjson [-benchtime 1x] [-o BENCH_compiled.json]
+//
+// -benchtime uses the testing package's syntax (a duration like 2s, or an
+// iteration count like 1x). The CI default of one iteration proves the
+// harness and refreshes the artifact cheaply; use a duration for numbers
+// stable enough to quote.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"igosim/internal/bench"
+	"igosim/internal/sim"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	MBPerSec    float64 `json:"mb_s"`
+}
+
+type report struct {
+	Workload    string  `json:"workload"`
+	Benchmarks  []entry `json:"benchmarks"`
+	Speedup     float64 `json:"speedup"`      // interpreted ns/op ÷ compiled ns/op
+	AllocsRatio float64 `json:"allocs_ratio"` // interpreted allocs/op ÷ compiled allocs/op
+}
+
+func main() {
+	testing.Init()
+	benchtime := flag.String("benchtime", "1x", "per-benchmark budget, testing syntax (duration or Nx iterations)")
+	out := flag.String("o", "BENCH_compiled.json", "output path")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatal(fmt.Errorf("bad -benchtime %q: %w", *benchtime, err))
+	}
+
+	w := bench.ResNet50Backward()
+	if err := w.Verify(); err != nil {
+		fatal(err)
+	}
+
+	rep := report{Workload: "ResNet-50 backward, LargeNPU"}
+	for _, b := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"CompiledEngine/interpreted", w.Pass(sim.EngineInterpreted)},
+		{"CompiledEngine/compiled", w.Pass(sim.EngineCompiled)},
+		{"CompiledEngine/steady", w.Steady()},
+	} {
+		r := testing.Benchmark(b.fn)
+		e := entry{Name: b.name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+		if secs := r.T.Seconds(); secs > 0 {
+			e.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / secs
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Printf("%-28s %14.0f ns/op %8d allocs/op %10.1f MB/s\n", e.Name, e.NsPerOp, e.AllocsPerOp, e.MBPerSec)
+	}
+	interp, compiled := rep.Benchmarks[0], rep.Benchmarks[1]
+	if compiled.NsPerOp > 0 {
+		rep.Speedup = interp.NsPerOp / compiled.NsPerOp
+	}
+	if compiled.AllocsPerOp > 0 {
+		rep.AllocsRatio = float64(interp.AllocsPerOp) / float64(compiled.AllocsPerOp)
+	}
+	fmt.Printf("speedup %.2fx, allocs ratio %.0fx\n", rep.Speedup, rep.AllocsRatio)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -33,8 +33,10 @@ func main() {
 		withNRG   = flag.Bool("energy", false, "print an energy estimate (45nm coefficients)")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
 		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled  = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
 	)
 	flag.Parse()
+	sim.SetCompiledDefault(*compiled)
 	stopTrace := trace.StartCLI(*traceOut, *report)
 
 	cfg, suite, err := resolveConfig(*cfgName)

@@ -39,8 +39,10 @@ func main() {
 		jobs      = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
 		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled  = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
 	)
 	flag.Parse()
+	sim.SetCompiledDefault(*compiled)
 	runner.SetParallelism(*jobs)
 	stopTrace := trace.StartCLI(*traceOut, *report)
 

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"igosim/internal/runner"
+	"igosim/internal/sim"
 	"igosim/internal/trace"
 	"igosim/internal/validate"
 )
@@ -33,8 +34,10 @@ func main() {
 		refCheck  = flag.Bool("refcheck", false, "replay every simulation through the refmodel oracle and require bit-exact counters")
 		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the residency simulations to this file (view in Perfetto)")
 		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled  = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
 	)
 	flag.Parse()
+	sim.SetCompiledDefault(*compiled)
 	runner.SetParallelism(*jobs)
 	stopTrace := trace.StartCLI(*traceOut, *report)
 

@@ -199,17 +199,17 @@ func runPartitionedSingle(cfg config.NPU, opts sim.Options, p schedule.TileParam
 	if len(plan.Parts) < 2 {
 		return LayerOutcome{}, false
 	}
-	e := sim.NewEngine(cfg, opts)
+	// Partitions are separate kernels on one core: RunSchedules flushes the
+	// scratchpad between them, so this matches per-part FlushSPM exactly
+	// while letting Options.Compiled pick the executor.
+	scheds := make([]schedule.Schedule, 0, len(plan.Parts))
 	orders := make(map[Order]bool)
-	for i, sub := range plan.Parts {
-		if i > 0 {
-			e.FlushSPM() // partitions are separate kernels on one core
-		}
+	for _, sub := range plan.Parts {
 		sched, o := RearrangedTuned(cfg, sub)
 		orders[o] = true
-		e.RunSchedule(sched)
+		scheds = append(scheds, sched)
 	}
-	out := outcomeFromResult(e.Result())
+	out := outcomeFromResult(sim.RunSchedules(cfg, opts, scheds...))
 	out.addReductions(plan.ReduceResults(cfg))
 	out.Dims = p.Dims
 	out.Scheme = scheme

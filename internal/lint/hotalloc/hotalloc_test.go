@@ -1,0 +1,17 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint/analysistest"
+	"igosim/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer,
+		"hotalloctest",             // //lint:hotpath marker semantics
+		"igosim/internal/sim",      // CompiledEngine/residency hot paths stay clean
+		"igosim/internal/schedule", // Compiler.Intern stays clean
+		"igosim/internal/spm",      // interpreter-side buffer has no marked paths
+	)
+}

@@ -1,0 +1,65 @@
+// Package hotalloctest checks the //lint:hotpath marker: map indexing and
+// allocation expressions inside marked functions are flagged, while
+// unmarked functions, amortized append reuse, and value composite literals
+// stay unconstrained.
+package hotalloctest
+
+type pair struct{ a, b int }
+
+type table struct {
+	m   map[int]int
+	s   []int
+	buf []int
+}
+
+// lookup runs per op: map indexing defeats the interned-ID design.
+//
+//lint:hotpath
+func (t *table) lookup(k int) int {
+	return t.m[k] // want `map index in hot-path function lookup`
+}
+
+// store writes through a map index: same violation on the LHS.
+//
+//lint:hotpath
+func (t *table) store(k, v int) {
+	t.m[k] = v // want `map index in hot-path function store`
+}
+
+// fill allocates in four distinct ways; the append into the reused buffer
+// and the value composite literal are fine.
+//
+//lint:hotpath
+func (t *table) fill(n int) {
+	t.s = make([]int, n) // want `allocation \(make\) in hot-path function fill`
+	p := new(int)        // want `allocation \(new\) in hot-path function fill`
+	q := &pair{1, 2}     // want `allocation \(composite-literal pointer\) in hot-path function fill`
+	r := []int{n}        // want `allocation \(slice literal\) in hot-path function fill`
+	t.buf = append(t.buf[:0], *p, q.a, r[0])
+	v := pair{1, 2} // value composite literal: no heap allocation implied
+	_ = v
+}
+
+// viaClosure hides the violation inside a closure: still on the hot path.
+//
+//lint:hotpath
+func (t *table) viaClosure(k int) int {
+	get := func() int {
+		return t.m[k] // want `map index in hot-path function viaClosure`
+	}
+	return get()
+}
+
+// cold is unmarked: anything goes.
+func (t *table) cold(k int) int {
+	t.m[k] = k
+	return t.m[k]
+}
+
+// suppressed documents a deliberate, measured exception.
+//
+//lint:hotpath
+func (t *table) suppressed(k int) int {
+	//lint:hotalloc dominated by the DRAM model, measured cold
+	return t.m[k]
+}

@@ -1,4 +1,4 @@
-// Package lint assembles the igolint analyzer suite: six go/analysis-style
+// Package lint assembles the igolint analyzer suite: seven go/analysis-style
 // checks that prove the simulator's determinism and zero-overhead
 // invariants at compile time (see DESIGN.md §3e). The cmd/igolint driver
 // runs All() over the module; each analyzer also ships an
@@ -11,6 +11,7 @@ import (
 	"igosim/internal/lint/ctrreg"
 	"igosim/internal/lint/cycleint"
 	"igosim/internal/lint/detmap"
+	"igosim/internal/lint/hotalloc"
 	"igosim/internal/lint/nilguard"
 	"igosim/internal/lint/spanpair"
 	"igosim/internal/lint/wallclock"
@@ -22,6 +23,7 @@ func All() []*analysis.Analyzer {
 		ctrreg.Analyzer,
 		cycleint.Analyzer,
 		detmap.Analyzer,
+		hotalloc.Analyzer,
 		nilguard.Analyzer,
 		spanpair.Analyzer,
 		wallclock.Analyzer,

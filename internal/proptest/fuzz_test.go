@@ -1,6 +1,7 @@
 package proptest
 
 import (
+	"bytes"
 	"testing"
 
 	"igosim/internal/refmodel"
@@ -8,6 +9,7 @@ import (
 	"igosim/internal/sim"
 	"igosim/internal/spm"
 	"igosim/internal/tensor"
+	"igosim/internal/trace"
 )
 
 // The fuzz targets decode their input bytes through the same Source /
@@ -86,6 +88,37 @@ func FuzzTilingCounts(f *testing.F) {
 			if err := sameOpMultiset(base, chunked); err != nil {
 				t.Fatalf("chunk %d: %v", chunk, err)
 			}
+		}
+	})
+}
+
+// FuzzCompiledEngine fuzzes the compiled execution path against the
+// interpreter in case space: bit-exact counter agreement in both free-dY
+// modes (CheckCompiledEquivalence, which also replays the refmodel oracle)
+// and byte-identical trace-event exports — the compiled engine must be
+// indistinguishable from the interpreter to every observer.
+func FuzzCompiledEngine(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x41, 0x17, 0x88, 0x0c, 0x3d, 0x5e, 0x99, 0x21, 0x6f})
+	f.Add([]byte{0xca, 0xfe, 0x10, 0x07, 0x64, 0x2b, 0x90, 0x00, 0xee, 0x31, 0x5a, 0x7d})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := GenCase(FromBytes(data))
+		if err := CheckCompiledEquivalence(c); err != nil {
+			t.Fatalf("compiled-equivalence: %v\n  case: %v", err, c)
+		}
+		var dumps [2]bytes.Buffer
+		for i, mode := range []sim.EngineChoice{sim.EngineInterpreted, sim.EngineCompiled} {
+			snk := trace.New()
+			sim.RunSchedules(c.Config(), sim.Options{Trace: snk, TraceLabel: "fuzz", Compiled: mode}, c.Schedules()...)
+			if err := snk.Check(); err != nil {
+				t.Fatalf("mode %d: trace reconciliation: %v\n  case: %v", mode, err, c)
+			}
+			if err := snk.WriteJSON(&dumps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(dumps[0].Bytes(), dumps[1].Bytes()) {
+			t.Fatalf("compiled trace differs from interpreted trace\n  case: %v", c)
 		}
 	})
 }

@@ -2,6 +2,7 @@ package proptest
 
 import (
 	"fmt"
+	"reflect"
 
 	"igosim/internal/analytic"
 	"igosim/internal/core"
@@ -27,6 +28,7 @@ func Invariants() []Invariant {
 	return []Invariant{
 		{"structure", CheckStructure},
 		{"oracle", CheckOracle},
+		{"compiled-equivalence", CheckCompiledEquivalence},
 		{"cycle-bounds", CheckCycleBounds},
 		{"conservation", CheckConservation},
 		{"partition", CheckPartition},
@@ -62,6 +64,29 @@ func CheckOracle(c Case) error {
 		want := refmodel.ReplaySchedules(cfg, refmodel.Options{FreeDYOnDW: free}, scheds...)
 		if err := refmodel.Compare(got, want); err != nil {
 			return fmt.Errorf("freeDY=%v: %w", free, err)
+		}
+	}
+	return nil
+}
+
+// CheckCompiledEquivalence is the three-way agreement property behind the
+// compiled execution path (DESIGN.md §3g): for every generated case and
+// both free-dY modes, the compiled engine, the interpreter and the
+// refmodel oracle must agree bit-exactly on every counter. The
+// compiled/interpreted comparison is full-struct equality; the oracle
+// comparison reuses refmodel's field-by-field diff for readable failures.
+func CheckCompiledEquivalence(c Case) error {
+	cfg := c.Config()
+	scheds := c.Schedules()
+	for _, free := range []bool{false, true} {
+		interp := sim.RunSchedules(cfg, sim.Options{FreeDYOnDW: free, Compiled: sim.EngineInterpreted}, scheds...)
+		compiled := sim.RunSchedules(cfg, sim.Options{FreeDYOnDW: free, Compiled: sim.EngineCompiled}, scheds...)
+		if !reflect.DeepEqual(compiled, interp) {
+			return fmt.Errorf("freeDY=%v: compiled %+v != interpreted %+v", free, compiled, interp)
+		}
+		want := refmodel.ReplaySchedules(cfg, refmodel.Options{FreeDYOnDW: free}, scheds...)
+		if err := refmodel.Compare(compiled, want); err != nil {
+			return fmt.Errorf("freeDY=%v: compiled vs oracle: %w", free, err)
 		}
 	}
 	return nil

@@ -26,6 +26,11 @@ func TestPropertyOracle(t *testing.T) {
 	Run(t, "oracle", casesPerInvariant, CheckOracle)
 }
 
+func TestPropertyCompiledEquivalence(t *testing.T) {
+	t.Parallel()
+	Run(t, "compiled-equivalence", casesPerInvariant, CheckCompiledEquivalence)
+}
+
 func TestPropertyCycleBounds(t *testing.T) {
 	t.Parallel()
 	Run(t, "cycle-bounds", casesPerInvariant, CheckCycleBounds)

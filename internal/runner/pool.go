@@ -1,0 +1,26 @@
+package runner
+
+import "sync"
+
+// Pool is a typed free-list over sync.Pool, used to recycle large reusable
+// simulation state — most importantly sim's compiled engines, whose dense
+// residency arrays would otherwise be reallocated for every layer a worker
+// simulates. Pooling is invisible in results: pooled values are fully
+// reinitialized by their owner before reuse, so it only removes steady-state
+// allocations from the Map workers' hot loop.
+type Pool[T any] struct {
+	p sync.Pool
+}
+
+// NewPool creates a pool that mints fresh values with newf.
+func NewPool[T any](newf func() T) *Pool[T] {
+	pl := &Pool[T]{}
+	pl.p.New = func() any { return newf() }
+	return pl
+}
+
+// Get takes a value from the pool, minting one if empty.
+func (p *Pool[T]) Get() T { return p.p.Get().(T) }
+
+// Put returns a value to the pool for reuse.
+func (p *Pool[T]) Put(v T) { p.p.Put(v) }

@@ -7,6 +7,9 @@ package schedule
 // are then streamed once per chunk instead of once per output tile row.
 // These orders complete each output tile only after the full reduction, so
 // they emit exactly the same op multiset as the reduction-inner orders.
+//
+// The loop nests live in the stream generators (stream.go); the functions
+// here materialize them for callers that need a slice.
 
 // clampChunk bounds a chunk size (in tiles) to [1, total].
 func clampChunk(chunk, total int) int {
@@ -27,78 +30,26 @@ func clampChunk(chunk, total int) int {
 // dY is read once per layer, W once per chunk; the live partials are
 // chunkRows x K.
 func PartialStationaryDX(p TileParams, chunkRows int) []Op {
-	mt, kt, nt := p.Tiling.Counts(p.Dims)
-	chunkRows = clampChunk(chunkRows, mt)
-	ops := make([]Op, 0, mt*kt*nt)
-	for mc := 0; mc < mt; mc += chunkRows {
-		hi := min(mc+chunkRows, mt)
-		for no := 0; no < nt; no++ {
-			for mo := mc; mo < hi; mo++ {
-				for ko := 0; ko < kt; ko++ {
-					ops = append(ops, p.DXOp(mo, ko, no, nt))
-				}
-			}
-		}
-	}
-	return ops
+	return Collect(PartialStationaryDXStream(p, chunkRows), p.OpCount())
 }
 
 // PartialStationaryDXCols generates the dX GEMM with column-chunked
 // partials (chunks over K): W is read once per layer, dY once per chunk;
 // the live partials are M x chunkCols.
 func PartialStationaryDXCols(p TileParams, chunkCols int) []Op {
-	mt, kt, nt := p.Tiling.Counts(p.Dims)
-	chunkCols = clampChunk(chunkCols, kt)
-	ops := make([]Op, 0, mt*kt*nt)
-	for kc := 0; kc < kt; kc += chunkCols {
-		hi := min(kc+chunkCols, kt)
-		for no := 0; no < nt; no++ {
-			for ko := kc; ko < hi; ko++ {
-				for mo := 0; mo < mt; mo++ {
-					ops = append(ops, p.DXOp(mo, ko, no, nt))
-				}
-			}
-		}
-	}
-	return ops
+	return Collect(PartialStationaryDXColsStream(p, chunkCols), p.OpCount())
 }
 
 // PartialStationaryDW generates the dW GEMM with row-chunked partials
 // (chunks over K): X is read once per layer, dY once per chunk; the live
 // partials are chunkRows x N.
 func PartialStationaryDW(p TileParams, chunkRows int) []Op {
-	mt, kt, nt := p.Tiling.Counts(p.Dims)
-	chunkRows = clampChunk(chunkRows, kt)
-	ops := make([]Op, 0, mt*kt*nt)
-	for kc := 0; kc < kt; kc += chunkRows {
-		hi := min(kc+chunkRows, kt)
-		for mo := 0; mo < mt; mo++ {
-			for ko := kc; ko < hi; ko++ {
-				for no := 0; no < nt; no++ {
-					ops = append(ops, p.DWOp(ko, no, mo, mt))
-				}
-			}
-		}
-	}
-	return ops
+	return Collect(PartialStationaryDWStream(p, chunkRows), p.OpCount())
 }
 
 // PartialStationaryDWCols generates the dW GEMM with column-chunked
 // partials (chunks over N): dY is read once per layer, X once per chunk;
 // the live partials are K x chunkCols.
 func PartialStationaryDWCols(p TileParams, chunkCols int) []Op {
-	mt, kt, nt := p.Tiling.Counts(p.Dims)
-	chunkCols = clampChunk(chunkCols, nt)
-	ops := make([]Op, 0, mt*kt*nt)
-	for nc := 0; nc < nt; nc += chunkCols {
-		hi := min(nc+chunkCols, nt)
-		for mo := 0; mo < mt; mo++ {
-			for no := nc; no < hi; no++ {
-				for ko := 0; ko < kt; ko++ {
-					ops = append(ops, p.DWOp(ko, no, mo, mt))
-				}
-			}
-		}
-	}
-	return ops
+	return Collect(PartialStationaryDWColsStream(p, chunkCols), p.OpCount())
 }

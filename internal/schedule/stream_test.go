@@ -1,0 +1,150 @@
+package schedule
+
+import (
+	"reflect"
+	"testing"
+
+	"igosim/internal/tensor"
+)
+
+// streamGens enumerates every pull-based generator with its materializing
+// counterpart, on a grid with edge tiles in all three dimensions.
+func streamGens(p TileParams) []struct {
+	name   string
+	stream OpStream
+	eager  []Op
+} {
+	return []struct {
+		name   string
+		stream OpStream
+		eager  []Op
+	}{
+		{"Forward", ForwardStream(p), Forward(p).Ops},
+		{"BaselineDX/MK", BaselineDXStream(p, DXOrderMK), BaselineDXOrdered(p, DXOrderMK)},
+		{"BaselineDX/KM", BaselineDXStream(p, DXOrderKM), BaselineDXOrdered(p, DXOrderKM)},
+		{"BaselineDW/KN", BaselineDWStream(p, DWOrderKN), BaselineDWOrdered(p, DWOrderKN)},
+		{"BaselineDW/NK", BaselineDWStream(p, DWOrderNK), BaselineDWOrdered(p, DWOrderNK)},
+		{"Backward", BaselineBackwardStream(p, DXOrderMK, DWOrderKN), BaselineBackwardOrdered(p, DXOrderMK, DWOrderKN).Ops},
+		{"PartialStationaryDX", PartialStationaryDXStream(p, 2), PartialStationaryDX(p, 2)},
+		{"PartialStationaryDXCols", PartialStationaryDXColsStream(p, 2), PartialStationaryDXCols(p, 2)},
+		{"PartialStationaryDW", PartialStationaryDWStream(p, 2), PartialStationaryDW(p, 2)},
+		{"PartialStationaryDWCols", PartialStationaryDWColsStream(p, 2), PartialStationaryDWCols(p, 2)},
+	}
+}
+
+func streamParams() TileParams {
+	return testParams(tensor.Dims{M: 33, K: 22, N: 11}, Tiling{Tm: 7, Tk: 6, Tn: 4})
+}
+
+// TestStreamDrainMatchesEager drains every stream generator and requires
+// exact sequence equality with its materializing counterpart, plus multiset
+// equality with the order-free baseline of the same GEMM — chunking and
+// streaming may reorder nothing relative to their eager forms, and never
+// add, drop or resize work.
+func TestStreamDrainMatchesEager(t *testing.T) {
+	p := streamParams()
+	for _, g := range streamGens(p) {
+		got := Collect(g.stream, 0)
+		if !reflect.DeepEqual(got, g.eager) {
+			t.Errorf("%s: stream drain differs from eager generator", g.name)
+			continue
+		}
+		want := p.OpCount()
+		if g.name == "Backward" {
+			want *= 2 // dX and dW GEMMs concatenated
+		}
+		if len(got) != want {
+			t.Errorf("%s: %d ops, want %d", g.name, len(got), want)
+		}
+		if !equalMultiset(opMultiset(got), opMultiset(g.eager)) {
+			t.Errorf("%s: op multiset differs", g.name)
+		}
+	}
+}
+
+// TestStreamEarlyAbort stops each stream mid-flight: the yielded prefix
+// must match the eager slice element for element, and the generator must
+// stop immediately (no further yields after false).
+func TestStreamEarlyAbort(t *testing.T) {
+	p := streamParams()
+	for _, g := range streamGens(p) {
+		for _, stop := range []int{0, 1, len(g.eager) / 2, len(g.eager) - 1} {
+			var got []Op
+			calls := 0
+			g.stream(func(op *Op) bool {
+				calls++
+				if len(got) == stop {
+					return false
+				}
+				got = append(got, *op)
+				return true
+			})
+			if calls != stop+1 {
+				t.Errorf("%s stop=%d: generator yielded %d times after abort, want %d",
+					g.name, stop, calls, stop+1)
+			}
+			if !reflect.DeepEqual(got, append([]Op(nil), g.eager[:stop]...)) {
+				t.Errorf("%s stop=%d: prefix differs from eager generator", g.name, stop)
+			}
+		}
+	}
+}
+
+// TestStreamRestartable drains each stream twice: OpStream values are
+// re-iterable (no consumed state, no pooled buffers to leak), so both
+// drains must be identical — including after an aborted drain in between.
+func TestStreamRestartable(t *testing.T) {
+	p := streamParams()
+	for _, g := range streamGens(p) {
+		first := Collect(g.stream, p.OpCount())
+		// Aborted drain in the middle must not affect the next full drain.
+		g.stream(func(op *Op) bool { return false })
+		second := Collect(g.stream, 0)
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%s: second drain differs from first", g.name)
+		}
+	}
+}
+
+// TestConcat checks kernel concatenation, including abort propagation
+// across the boundary.
+func TestConcat(t *testing.T) {
+	p := streamParams()
+	dx := BaselineDXStream(p, DXOrderMK)
+	dw := BaselineDWStream(p, DWOrderKN)
+	got := Collect(Concat(dx, dw), 0)
+	want := append(BaselineDXOrdered(p, DXOrderMK), BaselineDWOrdered(p, DWOrderKN)...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Concat drain differs from concatenated eager slices")
+	}
+
+	// Abort inside the first stream must prevent the second from starting.
+	count := 0
+	Concat(dx, dw)(func(op *Op) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("Concat yielded %d ops after abort, want 3", count)
+	}
+
+	if got := Collect(Concat(), 4); len(got) != 0 {
+		t.Fatalf("empty Concat yielded %d ops", len(got))
+	}
+}
+
+// TestCollectSizeHint checks Collect allocates exactly once when the hint
+// is right and still works when it is wrong.
+func TestCollectSizeHint(t *testing.T) {
+	p := streamParams()
+	s := BaselineDXStream(p, DXOrderMK)
+	exact := Collect(s, p.OpCount())
+	if len(exact) != cap(exact) {
+		t.Errorf("exact hint: len %d != cap %d", len(exact), cap(exact))
+	}
+	under := Collect(s, 1)
+	over := Collect(s, 10*len(exact))
+	if !reflect.DeepEqual(under, exact) || !reflect.DeepEqual(over, exact) {
+		t.Error("wrong hints changed the collected ops")
+	}
+}

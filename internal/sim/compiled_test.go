@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"igosim/internal/config"
+	"igosim/internal/schedule"
+	"igosim/internal/tensor"
+	"igosim/internal/trace"
+)
+
+// tightCfg shrinks the scratchpad below the test layers' working sets so the
+// compiled/interpreted comparison covers evictions, spills and fetch-backs.
+func tightCfg() config.NPU {
+	cfg := testCfg()
+	cfg.SPMBytes = 1 << 10
+	return cfg
+}
+
+// burstCfg adds DRAM burst latency so per-op burst counts matter.
+func burstCfg() config.NPU {
+	cfg := testCfg()
+	cfg.DRAMLatency = 7
+	return cfg
+}
+
+// testKernelSets enumerates schedule sequences covering the protocol space:
+// multi-kernel flushes, fused interleaving, chunked partials and edge tiles.
+func testKernelSets() map[string][]schedule.Schedule {
+	p := params(tensor.Dims{M: 16, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	// Uneven dims produce edge tiles with distinct byte sizes and systolic
+	// costs.
+	pe := params(tensor.Dims{M: 18, K: 13, N: 10}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	return map[string][]schedule.Schedule{
+		"baseline-two-kernels": {
+			{Name: "dx", Ops: schedule.BaselineDX(p)},
+			{Name: "dw", Ops: schedule.BaselineDW(p)},
+		},
+		"paired-interleave": {
+			{Name: "fused", Ops: pairedBackward(p)},
+		},
+		"chunked-partials": {
+			{Name: "dx", Ops: schedule.PartialStationaryDX(p, 2)},
+			{Name: "dw", Ops: schedule.PartialStationaryDWCols(p, 2)},
+		},
+		"edge-tiles": {
+			{Name: "dx", Ops: schedule.PartialStationaryDXCols(pe, 2)},
+			{Name: "dw", Ops: schedule.PartialStationaryDW(pe, 2)},
+			{Name: "fused", Ops: pairedBackward(pe)},
+		},
+	}
+}
+
+// TestCompiledMatchesInterpreter holds the compiled engine to full Result
+// equality with the interpreter across configurations, kernel shapes and
+// the free-dY study toggle.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	cfgs := map[string]config.NPU{
+		"base":  testCfg(),
+		"tight": tightCfg(),
+		"burst": burstCfg(),
+	}
+	for cname, cfg := range cfgs {
+		for kname, scheds := range testKernelSets() {
+			for _, free := range []bool{false, true} {
+				want := RunSchedules(cfg, Options{FreeDYOnDW: free, Compiled: EngineInterpreted}, scheds...)
+				got := RunSchedules(cfg, Options{FreeDYOnDW: free, Compiled: EngineCompiled}, scheds...)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s freeDY=%v: compiled %+v != interpreted %+v",
+						cname, kname, free, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledSpillsUnderPressure guards that the equivalence above is not
+// vacuous: the tight configuration must actually exercise spills.
+func TestCompiledSpillsUnderPressure(t *testing.T) {
+	scheds := testKernelSets()["paired-interleave"]
+	r := RunSchedules(tightCfg(), Options{Compiled: EngineCompiled}, scheds...)
+	if r.Spills == 0 {
+		t.Fatal("tight config no longer spills — shrink its SPM so the compiled/interpreted comparison keeps covering spill paths")
+	}
+	if r.SPM.Evictions == 0 {
+		t.Fatal("tight config no longer evicts")
+	}
+}
+
+// TestCompiledTraceParity compares the full trace-event export byte for
+// byte: the compiled engine must emit the identical event sequence, not
+// just identical counters.
+func TestCompiledTraceParity(t *testing.T) {
+	for kname, scheds := range testKernelSets() {
+		var dumps [2]bytes.Buffer
+		for i, mode := range []EngineChoice{EngineInterpreted, EngineCompiled} {
+			sink := trace.New()
+			RunSchedules(tightCfg(), Options{Trace: sink, TraceLabel: "parity", Compiled: mode}, scheds...)
+			if err := sink.Check(); err != nil {
+				t.Fatalf("%s mode %d: %v", kname, mode, err)
+			}
+			if err := sink.WriteJSON(&dumps[i]); err != nil {
+				t.Fatalf("%s: %v", kname, err)
+			}
+		}
+		if !bytes.Equal(dumps[0].Bytes(), dumps[1].Bytes()) {
+			t.Errorf("%s: compiled trace differs from interpreted trace", kname)
+		}
+	}
+}
+
+// multiPhases builds a two-core, two-phase workload where both cores touch
+// the same dY tiles (shared-hit coverage) and the scratchpad is under
+// pressure.
+func multiPhases() [][][]schedule.Op {
+	p := params(tensor.Dims{M: 16, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	return [][][]schedule.Op{
+		{schedule.BaselineDX(p), schedule.BaselineDXOrdered(p, schedule.DXOrderKM)},
+		{schedule.BaselineDW(p), schedule.BaselineDWOrdered(p, schedule.DWOrderNK)},
+	}
+}
+
+// TestCompiledMultiMatchesInterpreter holds the compiled multi-core path to
+// full MultiResult equality, in both scratchpad organisations.
+func TestCompiledMultiMatchesInterpreter(t *testing.T) {
+	cfg := testCfg()
+	cfg.Cores = 2
+	cfg.SPMBytes = 1 << 10
+	for _, shared := range []bool{true, false} {
+		for _, free := range []bool{false, true} {
+			want := RunMultiPhased(cfg, Options{FreeDYOnDW: free, Compiled: EngineInterpreted}, multiPhases(), shared)
+			got := RunMultiPhased(cfg, Options{FreeDYOnDW: free, Compiled: EngineCompiled}, multiPhases(), shared)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shared=%v freeDY=%v: compiled %+v != interpreted %+v", shared, free, got, want)
+			}
+			if shared && want.SharedHits == 0 {
+				t.Error("multi workload no longer produces shared hits — the comparison lost its cross-core coverage")
+			}
+		}
+	}
+}
+
+// TestCompiledMultiTraceParity is TestCompiledTraceParity for the
+// multi-core path (per-core tracks, per-buffer occupancy tracks, phases).
+func TestCompiledMultiTraceParity(t *testing.T) {
+	cfg := testCfg()
+	cfg.Cores = 2
+	cfg.SPMBytes = 1 << 10
+	for _, shared := range []bool{true, false} {
+		var dumps [2]bytes.Buffer
+		for i, mode := range []EngineChoice{EngineInterpreted, EngineCompiled} {
+			sink := trace.New()
+			RunMultiPhased(cfg, Options{Trace: sink, TraceLabel: "mparity", Compiled: mode}, multiPhases(), shared)
+			if err := sink.Check(); err != nil {
+				t.Fatalf("shared=%v mode %d: %v", shared, mode, err)
+			}
+			if err := sink.WriteJSON(&dumps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(dumps[0].Bytes(), dumps[1].Bytes()) {
+			t.Errorf("shared=%v: compiled multi-core trace differs from interpreted", shared)
+		}
+	}
+}
+
+// TestRunStreamsMatchesRunSchedules checks the stream entry point against
+// the materialized one on both executors.
+func TestRunStreamsMatchesRunSchedules(t *testing.T) {
+	p := params(tensor.Dims{M: 16, K: 16, N: 16}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4})
+	scheds := []schedule.Schedule{
+		{Name: "dx", Ops: schedule.PartialStationaryDX(p, 2)},
+		{Name: "dw", Ops: schedule.PartialStationaryDW(p, 2)},
+	}
+	kernels := []schedule.StreamKernel{
+		{Name: "dx", Ops: schedule.PartialStationaryDXStream(p, 2)},
+		{Name: "dw", Ops: schedule.PartialStationaryDWStream(p, 2)},
+	}
+	for _, mode := range []EngineChoice{EngineInterpreted, EngineCompiled} {
+		want := RunSchedules(tightCfg(), Options{Compiled: mode}, scheds...)
+		got := RunStreams(tightCfg(), Options{Compiled: mode}, kernels...)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("mode %d: RunStreams %+v != RunSchedules %+v", mode, got, want)
+		}
+	}
+}
+
+// TestCompiledEngineReuse checks that a pooled engine re-initialized for a
+// new configuration and program carries nothing over from the previous run.
+func TestCompiledEngineReuse(t *testing.T) {
+	big := testKernelSets()["edge-tiles"]
+	small := testKernelSets()["baseline-two-kernels"]
+
+	fresh := NewCompiledEngine(tightCfg(), Options{})
+	progSmall := schedule.Compile(small...)
+	fresh.RunProgram(&progSmall)
+	want := fresh.Result()
+
+	reused := NewCompiledEngine(burstCfg(), Options{FreeDYOnDW: true})
+	progBig := schedule.Compile(big...)
+	reused.RunProgram(&progBig)
+	reused.Init(tightCfg(), Options{})
+	reused.RunProgram(&progSmall)
+	if got := reused.Result(); !reflect.DeepEqual(got, want) {
+		t.Errorf("reused engine %+v != fresh engine %+v", got, want)
+	}
+}
+
+// TestSetCompiledDefault checks the process-wide default toggle and its
+// return-previous contract.
+func TestSetCompiledDefault(t *testing.T) {
+	orig := CompiledDefault()
+	defer SetCompiledDefault(orig)
+	if prev := SetCompiledDefault(false); prev != orig {
+		t.Errorf("SetCompiledDefault returned %v, want %v", prev, orig)
+	}
+	if CompiledDefault() {
+		t.Error("default still compiled after SetCompiledDefault(false)")
+	}
+	if (Options{}).useCompiled() {
+		t.Error("EngineDefault ignored the process default")
+	}
+	if !(Options{Compiled: EngineCompiled}).useCompiled() {
+		t.Error("EngineCompiled did not force the compiled path")
+	}
+	SetCompiledDefault(true)
+	if !(Options{}).useCompiled() || (Options{Compiled: EngineInterpreted}).useCompiled() {
+		t.Error("default restore or EngineInterpreted override broken")
+	}
+}

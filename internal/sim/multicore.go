@@ -83,6 +83,9 @@ func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shar
 		}
 		cores = max(cores, len(streams))
 	}
+	if opts.useCompiled() {
+		return runMultiPhasedCompiled(cfg, opts, phases, shared)
+	}
 	arr := systolic.New(cfg)
 	chn := dram.Channel{
 		BytesPerCycle: cfg.BytesPerCycle(), // per core

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"igosim/internal/config"
 	"igosim/internal/dram"
@@ -16,6 +17,49 @@ import (
 	"igosim/internal/systolic"
 	"igosim/internal/trace"
 )
+
+// EngineChoice selects which executor RunSchedules and RunMultiPhased use.
+// Both produce bit-identical results (held together by the refmodel oracle
+// and PropCompiledEquivalence); only speed differs.
+type EngineChoice uint8
+
+const (
+	// EngineDefault follows the process-wide default: compiled, unless
+	// flipped with SetCompiledDefault(false).
+	EngineDefault EngineChoice = iota
+	// EngineCompiled forces the compiled path (schedule.Compile +
+	// CompiledEngine).
+	EngineCompiled
+	// EngineInterpreted forces the reference interpreter (Engine).
+	EngineInterpreted
+)
+
+// interpretByDefault inverts the default so the zero value means
+// "compiled" — the intended production setting.
+var interpretByDefault atomic.Bool
+
+// SetCompiledDefault sets the process-wide executor default used when
+// Options.Compiled is EngineDefault, returning the previous setting.
+func SetCompiledDefault(on bool) bool {
+	prev := !interpretByDefault.Load()
+	interpretByDefault.Store(!on)
+	return prev
+}
+
+// CompiledDefault reports whether EngineDefault currently resolves to the
+// compiled path.
+func CompiledDefault() bool { return !interpretByDefault.Load() }
+
+func (o Options) useCompiled() bool {
+	switch o.Compiled {
+	case EngineCompiled:
+		return true
+	case EngineInterpreted:
+		return false
+	default:
+		return CompiledDefault()
+	}
+}
 
 // Options tweak engine behaviour for specific studies.
 type Options struct {
@@ -35,6 +79,11 @@ type Options struct {
 	// TraceLabel names the trace tracks of engines built with these options
 	// (typically "model/layer pass"). Ignored when Trace is nil.
 	TraceLabel string
+
+	// Compiled selects the executor. The zero value (EngineDefault) follows
+	// the process-wide default set by SetCompiledDefault — compiled unless
+	// turned off. Results are identical either way.
+	Compiled EngineChoice
 }
 
 // Result aggregates the outcome of simulated tile streams.
@@ -276,17 +325,49 @@ func (e *Engine) RunSchedule(s schedule.Schedule) {
 	e.tr.Phase(s.Name, start, e.compDone)
 }
 
+// RunStream executes a pull-based op stream to exhaustion, continuing the
+// pipeline from previous calls.
+func (e *Engine) RunStream(s schedule.OpStream) {
+	s(func(op *schedule.Op) bool {
+		e.step(op)
+		return true
+	})
+}
+
 // RunSchedules is a convenience wrapper: it executes the given schedules in
 // order on a fresh single-core engine, flushing the scratchpad at each
 // schedule boundary (schedules model separate kernels), and returns the
-// combined result.
+// combined result. Options.Compiled picks the executor; both paths are
+// bit-identical.
 func RunSchedules(cfg config.NPU, opts Options, scheds ...schedule.Schedule) Result {
+	if opts.useCompiled() {
+		return runSchedulesCompiled(cfg, opts, scheds)
+	}
 	e := NewEngine(cfg, opts)
 	for i, s := range scheds {
 		if i > 0 {
 			e.FlushSPM()
 		}
 		e.RunSchedule(s)
+	}
+	return e.Result()
+}
+
+// RunStreams is RunSchedules for pull-based generators: each kernel's ops
+// are produced on demand, so the compiled path never materializes a []Op
+// and the interpreted path executes ops as they are yielded.
+func RunStreams(cfg config.NPU, opts Options, kernels ...schedule.StreamKernel) Result {
+	if opts.useCompiled() {
+		return runStreamsCompiled(cfg, opts, kernels)
+	}
+	e := NewEngine(cfg, opts)
+	for i, k := range kernels {
+		if i > 0 {
+			e.FlushSPM()
+		}
+		start := e.compDone
+		e.RunStream(k.Ops)
+		e.tr.Phase(k.Name, start, e.compDone)
 	}
 	return e.Result()
 }

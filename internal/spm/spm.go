@@ -22,7 +22,11 @@ type Buffer[K comparable] struct {
 	// OnChange, when set, is invoked with the resident byte count after
 	// every mutation (Insert, Remove, Flush) — the trace layer's occupancy
 	// sampling hook. The nil default costs one predictable branch per
-	// mutation and nothing else.
+	// mutation and nothing else; every invocation goes through the
+	// notifyChange fast path, and the hotalloc-adjacent nilguard rule below
+	// keeps it that way.
+	//
+	//lint:guardedcall nil OnChange is the tracing-disabled configuration
 	OnChange func(used int64)
 }
 
@@ -113,9 +117,7 @@ func (b *Buffer[K]) Insert(k K, bytes int64) []K {
 	b.entries[k] = n
 	b.used += bytes
 	b.pushFront(n)
-	if b.OnChange != nil {
-		b.OnChange(b.used)
-	}
+	b.notifyChange(b.used)
 	return evicted
 }
 
@@ -126,9 +128,7 @@ func (b *Buffer[K]) Remove(k K) bool {
 		return false
 	}
 	b.remove(n)
-	if b.OnChange != nil {
-		b.OnChange(b.used)
-	}
+	b.notifyChange(b.used)
 	return true
 }
 
@@ -139,10 +139,19 @@ func (b *Buffer[K]) Flush() int {
 	b.entries = make(map[K]*node[K])
 	b.head, b.tail = nil, nil
 	b.used = 0
-	if b.OnChange != nil {
-		b.OnChange(0)
-	}
+	b.notifyChange(0)
 	return n
+}
+
+// notifyChange is the single point through which every mutation reports
+// the new resident byte count. The nil fast path lives here so no mutation
+// pays more than one predictable branch when tracing is disabled, and so
+// the nilguard analyzer has exactly one guarded call site to verify.
+func (b *Buffer[K]) notifyChange(used int64) {
+	if b.OnChange == nil {
+		return
+	}
+	b.OnChange(used)
 }
 
 // ResetStats zeroes the hit/miss/eviction counters.
