@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json vet lint ci golden trace-check fuzz-short cover
+.PHONY: build test race bench bench-json vet lint ci golden trace-check fuzz-short cover sweep-check
 
 build:
 	$(GO) build ./...
@@ -25,12 +25,13 @@ bench:
 
 # Machine-readable perf trajectory (DESIGN.md §3g): BENCH_compiled.json
 # records ns/op, allocs/op and simulated-DRAM MB/s for the compiled-vs-
-# interpreted engine benchmarks. CI runs one iteration per benchmark —
-# enough to prove the harness and refresh the artifact; quote numbers from
-# a longer run (`make bench-json BENCHTIME=2s`).
+# interpreted engine benchmarks; BENCH_sweep.json records the canonical
+# pruned design-space sweep's throughput and pruned fraction (§3h). CI runs
+# one iteration per benchmark — enough to prove the harness and refresh the
+# artifacts; quote numbers from a longer run (`make bench-json BENCHTIME=2s`).
 BENCHTIME ?= 1x
 bench-json:
-	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_compiled.json
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_compiled.json -sweep-o BENCH_sweep.json
 
 # Observability gate: the disabled trace path must not allocate or change
 # results, and the Chrome-trace export must match the goldens byte for byte
@@ -57,13 +58,21 @@ fuzz-short:
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzSPMResidency$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzCompiledEngine$$' -fuzztime $(FUZZTIME)
 
+# Design-space exploration gate (DESIGN.md §3h): internal/dse's unit and
+# property tests, then an end-to-end CLI check that a pruned sweep's
+# simulated rows match an unpruned sweep's byte for byte and that a sweep
+# killed after one shard resumes to a byte-identical CSV.
+sweep-check:
+	$(GO) test ./internal/dse/ ./internal/analytic/ -count=1
+	sh scripts/sweep_check.sh
+
 # Coverage profile across all packages; prints the total percentage that
 # README.md records under "Testing".
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-ci: vet build race bench bench-json trace-check lint cover fuzz-short
+ci: vet build race bench bench-json trace-check lint sweep-check cover fuzz-short
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

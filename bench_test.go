@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	ibench "igosim/internal/bench"
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/experiments"
@@ -222,6 +223,15 @@ func BenchmarkRunnerSpeedup(b *testing.B) {
 		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_x")
 		b.ReportMetric(100*core.LayerMemoStats().HitRate(), "memo_hit_%")
 	}
+}
+
+// BenchmarkSweepPruned runs the canonical pruned design-space sweep
+// (internal/bench.SweepSpace: a dense-bandwidth, two-policy grid) end to
+// end, reporting throughput in points/s and the fraction of points the
+// analytic pruner skipped. cmd/benchjson tracks the same numbers as
+// BENCH_sweep.json.
+func BenchmarkSweepPruned(b *testing.B) {
+	ibench.SweepPruned()(b)
 }
 
 // --- microbenchmarks: simulator hot paths ---

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"igosim/internal/bench"
 	"igosim/internal/sim"
@@ -44,6 +45,7 @@ func main() {
 	testing.Init()
 	benchtime := flag.String("benchtime", "1x", "per-benchmark budget, testing syntax (duration or Nx iterations)")
 	out := flag.String("o", "BENCH_compiled.json", "output path")
+	sweepOut := flag.String("sweep-o", "BENCH_sweep.json", "sweep summary output path (empty = skip the sweep)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fatal(fmt.Errorf("bad -benchtime %q: %w", *benchtime, err))
@@ -88,6 +90,39 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *sweepOut != "" {
+		if err := writeSweep(*sweepOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeSweep runs the canonical pruned design-space sweep once and records
+// its throughput and pruned fraction — the numbers BenchmarkSweepPruned
+// reports, tracked across PRs as BENCH_sweep.json.
+func writeSweep(path string) error {
+	start := time.Now()
+	res, err := bench.RunSweep(0)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	res.WallSeconds = wall
+	if wall > 0 {
+		res.PointsPerSec = float64(res.Points) / wall
+	}
+	fmt.Printf("%-28s %6d points %6d simulated %5.1f%% pruned %8.1f points/s\n",
+		"SweepPruned", res.Points, res.Simulated, 100*res.PrunedFrac, res.PointsPerSec)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

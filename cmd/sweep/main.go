@@ -1,26 +1,36 @@
 // Command sweep explores the NPU design space: it measures the interleaved
-// gradient order's benefit over a grid of DRAM bandwidths, scratchpad sizes
-// and core counts, for any zoo model. Architects use it to find where
-// on-chip reuse pays (Section 6.4's trend study, generalized).
+// gradient order's benefit over a grid of DRAM bandwidths, scratchpad sizes,
+// core counts, tiling caps and schedule policies, for any zoo model.
+// Architects use it to find where on-chip reuse pays (Section 6.4's trend
+// study, generalized to millions of points).
+//
+// The sweep is built on internal/dse: an analytic pruner skips points whose
+// lower bounds prove them dominated by an already-simulated point, shards
+// checkpoint to disk for kill+resume, and the Pareto frontier over
+// (cycles, traffic, reduction) is extracted at the end. Results are
+// byte-identical across reruns, worker counts and resumes.
 //
 // Usage:
 //
 //	sweep -model res -bw 300,150,75,37.5 -spm 4,8,16 -cores 1
-//	sweep -model bert-base -suite server -cores 1,2,4 -csv
+//	sweep -model bert-tiny -suite edge -bw 20:320:250:log -spm 0.5:16:200:log \
+//	      -cores 1,2,4,8 -tkcap 0,32,64,128,256 -checkpoint /tmp/ck -csv rows.csv
+//	sweep -model res -resume -checkpoint /tmp/ck -csv rows.csv
 package main
 
 import (
-	"context"
+	"bufio"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
-	"igosim/internal/analytic"
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/dse"
 	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
@@ -32,14 +42,28 @@ func main() {
 	var (
 		modelName = flag.String("model", "res", "model abbreviation (Table 4 or variant: bert-base, T5-base, yolo-s, res18)")
 		suiteName = flag.String("suite", "server", "zoo suite for size variants: edge or server")
-		bwList    = flag.String("bw", "300,150,75,37.5", "per-core DRAM bandwidths to sweep, GB/s")
-		spmList   = flag.String("spm", "8", "per-core SPM sizes to sweep, MiB")
-		coreList  = flag.String("cores", "1", "core counts to sweep")
-		csv       = flag.Bool("csv", false, "emit CSV")
-		jobs      = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
-		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
-		compiled  = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		npuName   = flag.String("npu", "large", "base NPU preset: small, large or gpu")
+		bwList    = flag.String("bw", "300,150,75,37.5", "per-core DRAM bandwidths to sweep, GB/s (comma list and/or lo:hi:n[:log] ranges)")
+		spmList   = flag.String("spm", "8", "per-core SPM sizes to sweep, MiB (comma list and/or lo:hi:n[:log] ranges)")
+		coreList  = flag.String("cores", "1", "core counts to sweep (integers)")
+		tkList    = flag.String("tkcap", "0", "Tk tiling caps to sweep (integers; 0 = engine default)")
+		polList   = flag.String("policy", "partition", "schedule policies to sweep: baseline, interleave, rearrange, partition, all")
+
+		prune     = flag.Bool("prune", true, "skip points whose analytic bounds prove them dominated by a simulated point")
+		eps       = flag.Float64("eps", -1, "dominance relaxation on the cycle and traffic legs (negative = default)")
+		epsRed    = flag.Float64("eps-red", -1, "dominance relaxation on the reduction leg, percentage points/100 (negative = default)")
+		budget    = flag.Int("budget", 0, "simulate at most N points, spent where the analytic model is least certain (0 = unlimited)")
+		shardSize = flag.Int("shard-size", 0, "points per checkpoint shard (0 = default)")
+		waveSize  = flag.Int("wave-size", 0, "points per pruning wave (0 = default)")
+		ckptDir   = flag.String("checkpoint", "", "directory for per-shard checkpoint files")
+		resume    = flag.Bool("resume", false, "load completed shards from -checkpoint instead of recomputing them")
+		maxShards = flag.Int("max-shards", 0, "stop after N shards (for checkpoint testing; 0 = run all)")
+
+		csvPath  = flag.String("csv", "", "write all rows as CSV to this path (\"-\" = stdout)")
+		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
+		report   = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
 	)
 	flag.Parse()
 	sim.SetCompiledDefault(*compiled)
@@ -50,86 +74,88 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	bws, err := parseFloats(*bwList)
+	base, err := basePreset(*npuName)
 	if err != nil {
 		fatal(err)
 	}
-	spms, err := parseFloats(*spmList)
-	if err != nil {
+	space := dse.Space{Model: model, Base: base}
+	if space.BWGBs, err = parseFloatAxis("-bw", *bwList); err != nil {
 		fatal(err)
 	}
-	cores, err := parseFloats(*coreList)
-	if err != nil {
+	if space.SPMMiB, err = parseFloatAxis("-spm", *spmList); err != nil {
+		fatal(err)
+	}
+	// Core counts and tiling caps are integer axes: "2.7 cores" is a config
+	// error, not something to truncate silently.
+	if space.Cores, err = parseIntAxis("-cores", *coreList, 1); err != nil {
+		fatal(err)
+	}
+	if space.TkCaps, err = parseIntAxis("-tkcap", *tkList, 0); err != nil {
+		fatal(err)
+	}
+	if space.Policies, err = parsePolicies(*polList); err != nil {
 		fatal(err)
 	}
 
-	// The full cores x bw x spm grid is flattened and fanned out through
-	// the runner; a bad configuration cancels outstanding work and the
-	// first (lowest-index) error is reported. Rows come back in grid order
-	// regardless of worker count.
-	type point struct{ nc, bw, spm float64 }
-	var grid []point
-	for _, nc := range cores {
-		for _, bw := range bws {
-			for _, spm := range spms {
-				grid = append(grid, point{nc, bw, spm})
+	opts := dse.Options{
+		Prune: *prune, Eps: *eps, EpsRed: *epsRed, Budget: *budget,
+		ShardSize: *shardSize, WaveSize: *waveSize,
+		CheckpointDir: *ckptDir, Resume: *resume, MaxShards: *maxShards,
+	}
+	total := space.Size()
+	if total >= 10_000 {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%.1f%%)", done, total, 100*float64(done)/float64(total))
+			if done >= total {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
-	type result struct {
-		p         point
-		seconds   [2]float64
-		ridge     float64
-		reduction float64
-		evictions int64
-		spills    int64
-	}
-	results, err := runner.MapErr(context.Background(), grid, func(_ context.Context, p point) (result, error) {
-		cfg := config.LargeNPU().WithCores(int(p.nc)).WithBandwidth(p.bw * 1e9)
-		cfg.SPMBytes = int64(math.Round(p.spm * float64(1<<20)))
-		cfg.Name = fmt.Sprintf("sweep-%gc-%gGB-%gMiB", p.nc, p.bw, p.spm)
-		if err := cfg.Validate(); err != nil {
-			return result{}, err
-		}
-		base := core.RunTraining(cfg, sim.Options{}, model, core.PolBaseline)
-		igo := core.RunTraining(cfg, sim.Options{}, model, core.PolPartition)
-		r := result{
-			p:         p,
-			seconds:   [2]float64{base.Seconds(cfg), igo.Seconds(cfg)},
-			ridge:     analytic.Ridge(cfg),
-			reduction: core.Improvement(base, igo),
-		}
-		// Residency pressure of the winning policy's backward pass: how often
-		// the LRU set evicted, and how many live partial sums spilled to DRAM.
-		for _, l := range igo.Bwd {
-			r.evictions += l.SPM.Evictions
-			r.spills += l.Spills
-		}
-		return r, nil
-	})
+
+	start := time.Now()
+	res, err := dse.Run(space, opts)
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(start)
 
-	t := stats.NewTable("cores", "bw GB/s", "spm MiB", "base ms", "igo ms", "reduction%", "evict", "spills", "ridge MACs/B")
-	for _, r := range results {
-		t.AddRowF(
-			"%.0f", r.p.nc,
-			"%.1f", r.p.bw,
-			"%.0f", r.p.spm,
-			"%.2f", r.seconds[0]*1e3,
-			"%.2f", r.seconds[1]*1e3,
-			"%.1f", 100*r.reduction,
-			"%d", r.evictions,
-			"%d", r.spills,
-			"%.0f", r.ridge,
-		)
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, space, res.Rows); err != nil {
+			fatal(err)
+		}
 	}
 
-	fmt.Printf("design-space sweep: %s (%s)\n\n", model.Name, model.Abbr)
-	if *csv {
-		fmt.Print(t.CSV())
-	} else {
+	fmt.Printf("design-space sweep: %s (%s), %d points\n", model.Name, model.Abbr, total)
+	if !res.Complete {
+		fmt.Printf("stopped after -max-shards: %d of %d points processed\n", len(res.Rows), total)
+	}
+	// Row table only for small grids; a million-point sweep goes to -csv.
+	if len(res.Rows) <= 200 && *csvPath != "-" {
+		fmt.Println()
+		fmt.Print(rowTable(space, res.Rows))
+	}
+	done := len(res.Rows)
+	fmt.Printf("\nsimulated %d | pruned %d (%.1f%%) | skipped %d | over budget %d\n",
+		res.Simulated, res.Pruned, 100*frac(res.Pruned, done), res.Skipped, res.Budgeted)
+	fmt.Printf("wall %.2fs, %.0f points/s\n", wall.Seconds(), float64(done)/wall.Seconds())
+
+	if len(res.Frontier) > 0 {
+		fmt.Printf("\nPareto frontier (%d points; minimize cycles and traffic, maximize reduction):\n", len(res.Frontier))
+		t := stats.NewTable("cores", "bw GB/s", "spm MiB", "tkcap", "policy", "igo cycles", "traffic MiB", "reduction%")
+		for _, idx := range res.Frontier {
+			r := res.Rows[idx]
+			p := space.Point(r.Index)
+			t.AddRowF(
+				"%d", p.Cores,
+				"%.4g", p.BWGB,
+				"%.4g", p.SPMMiB,
+				"%d", p.TkCap,
+				"%s", p.Policy.String(),
+				"%d", r.IgoCycles,
+				"%.2f", float64(r.Traffic)/float64(1<<20),
+				"%.1f", 100*r.Reduction,
+			)
+		}
 		fmt.Print(t)
 	}
 	if err := stopTrace(); err != nil {
@@ -137,17 +163,190 @@ func main() {
 	}
 }
 
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("sweep: bad list entry %q", p)
+func basePreset(name string) (config.NPU, error) {
+	switch name {
+	case "small":
+		return config.SmallNPU(), nil
+	case "large":
+		return config.LargeNPU(), nil
+	case "gpu":
+		return config.GPULike(), nil
+	}
+	return config.NPU{}, fmt.Errorf("unknown -npu preset %q (want small, large or gpu)", name)
+}
+
+// parseIntAxis parses a comma-separated integer axis strictly: "2.7" is
+// rejected with a clear error instead of being truncated to 2.
+func parseIntAxis(flagName, s string, lo int) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %q is not an integer (this axis takes whole numbers only)", flagName, p)
+		}
+		if v < lo {
+			return nil, fmt.Errorf("%s: %d is below the minimum %d", flagName, v, lo)
 		}
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// parseFloatAxis parses a comma-separated float axis; each entry is either a
+// positive number or a range lo:hi:n (n evenly spaced points, inclusive) with
+// an optional :log suffix for log spacing — "20:320:250:log" is how a sweep
+// reaches hundreds of points on one axis without a generated flag string.
+func parseFloatAxis(flagName, s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if strings.Contains(p, ":") {
+			vals, err := parseRange(p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", flagName, err)
+			}
+			out = append(out, vals...)
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%s: bad entry %q (want a positive number or lo:hi:n[:log])", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseRange expands from:to:n[:log] into n inclusive points. from > to is
+// allowed and yields a descending axis. Grid index order is also simulation
+// priority across shards, so putting the strongest configurations first
+// (e.g. -bw 320:20:250:log) seeds the pruning frontier with the points most
+// likely to dominate the rest of the grid.
+func parseRange(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	log := false
+	if len(parts) == 4 && parts[3] == "log" {
+		log = true
+		parts = parts[:3]
+	}
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad range %q (want from:to:n[:log])", s)
+	}
+	from, err1 := strconv.ParseFloat(parts[0], 64)
+	to, err2 := strconv.ParseFloat(parts[1], 64)
+	n, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || from <= 0 || to <= 0 || n < 1 {
+		return nil, fmt.Errorf("bad range %q (want positive from and to, n >= 1)", s)
+	}
+	if n == 1 {
+		return []float64{from}, nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / float64(n-1)
+		if log {
+			out[i] = from * math.Exp(t*math.Log(to/from))
+		} else {
+			out[i] = from + t*(to-from)
+		}
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]core.Policy, error) {
+	var out []core.Policy
+	for _, p := range strings.Split(s, ",") {
+		switch strings.TrimSpace(p) {
+		case "baseline":
+			out = append(out, core.PolBaseline)
+		case "interleave":
+			out = append(out, core.PolInterleave)
+		case "rearrange":
+			out = append(out, core.PolRearrange)
+		case "partition":
+			out = append(out, core.PolPartition)
+		case "all":
+			out = append(out, core.Policies()...)
+		default:
+			return nil, fmt.Errorf("-policy: unknown policy %q (want baseline, interleave, rearrange, partition or all)", p)
+		}
+	}
+	return out, nil
+}
+
+func rowTable(space dse.Space, rows []dse.Row) *stats.Table {
+	t := stats.NewTable("cores", "bw GB/s", "spm MiB", "tkcap", "policy", "status",
+		"cyc LB", "base cyc", "igo cyc", "reduction%", "evict", "spills")
+	for _, r := range rows {
+		p := space.Point(r.Index)
+		status := string(r.Status)
+		if r.Status == dse.StatusPruned {
+			status = fmt.Sprintf("pruned(#%d)", r.PrunedBy)
+		}
+		t.AddRowF(
+			"%d", p.Cores,
+			"%.4g", p.BWGB,
+			"%.4g", p.SPMMiB,
+			"%d", p.TkCap,
+			"%s", p.Policy.String(),
+			"%s", status,
+			"%d", r.CyclesLB,
+			"%d", r.BaseCycles,
+			"%d", r.IgoCycles,
+			"%.1f", 100*r.Reduction,
+			"%d", r.Evictions,
+			"%d", r.Spills,
+		)
+	}
+	return t
+}
+
+// writeCSV streams every row to path ("-" = stdout) through a buffered
+// writer; a million-point sweep writes tens of MB, so rows never pass
+// through an in-memory table.
+func writeCSV(path string, space dse.Space, rows []dse.Row) error {
+	if path == "-" {
+		return streamCSV(os.Stdout, space, rows)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := streamCSV(f, space, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func streamCSV(out *os.File, space dse.Space, rows []dse.Row) error {
+	w := bufio.NewWriterSize(out, 1<<20)
+	fmt.Fprintln(w, "index,cores,bw_gbs,spm_mib,tkcap,policy,status,reason,cycles_lb,traffic_lb,red_cap,balance,pruned_by,base_cycles,igo_cycles,traffic,reduction,evictions,spills")
+	for _, r := range rows {
+		p := space.Point(r.Index)
+		fmt.Fprintf(w, "%d,%d,%g,%g,%d,%s,%s,%s,%d,%d,%.6g,%.6g,%d,%d,%d,%d,%.6g,%d,%d\n",
+			r.Index, p.Cores, p.BWGB, p.SPMMiB, p.TkCap, p.Policy.String(),
+			r.Status, csvEscape(r.Reason),
+			r.CyclesLB, r.TrafficLB, r.RedCap, r.Balance, r.PrunedBy,
+			r.BaseCycles, r.IgoCycles, r.Traffic, r.Reduction, r.Evictions, r.Spills)
+	}
+	return w.Flush()
+}
+
+// csvEscape quotes a free-text field (skip reasons carry error strings).
+func csvEscape(s string) string {
+	if s == "" {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
 }
 
 func fatal(err error) {

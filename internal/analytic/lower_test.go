@@ -1,0 +1,130 @@
+package analytic
+
+import (
+	"testing"
+
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/schedule"
+	"igosim/internal/sim"
+	"igosim/internal/tensor"
+)
+
+func testParams(d tensor.Dims, t schedule.Tiling, elem int, xf float64) schedule.TileParams {
+	return schedule.TileParams{Dims: d, Tiling: t, ElemBytes: elem, Layer: 1, XFactor: xf}
+}
+
+// TestFloorsMatchBoundsOf pins the closed-form distinct-tile sums to
+// BoundsOf over the materialised baseline stream, per class, including
+// edge tiles and the XFactor truncation.
+func TestFloorsMatchBoundsOf(t *testing.T) {
+	t.Parallel()
+	cfg := config.SmallNPU()
+	cases := []struct {
+		d  tensor.Dims
+		tl schedule.Tiling
+		xf float64
+	}{
+		{tensor.Dims{M: 64, K: 64, N: 64}, schedule.Tiling{Tm: 16, Tk: 16, Tn: 16}, 0},
+		{tensor.Dims{M: 65, K: 33, N: 17}, schedule.Tiling{Tm: 16, Tk: 16, Tn: 16}, 0},
+		{tensor.Dims{M: 7, K: 50, N: 3}, schedule.Tiling{Tm: 8, Tk: 12, Tn: 8}, 0.37},
+		{tensor.Dims{M: 1, K: 1, N: 1}, schedule.Tiling{Tm: 4, Tk: 4, Tn: 4}, 0.05},
+		{tensor.Dims{M: 40, K: 9, N: 31}, schedule.Tiling{Tm: 13, Tk: 3, Tn: 10}, 0.93},
+	}
+	for _, c := range cases {
+		p := testParams(c.d, c.tl, 4, c.xf)
+		f := FloorsOf(cfg, p)
+		sb := BoundsOf(schedule.BaselineBackward(p).Ops)
+		for _, chk := range []struct {
+			name      string
+			got, want int64
+		}{
+			{"X", f.X, sb.MinRead[dram.ClassX]},
+			{"W", f.W, sb.MinRead[dram.ClassW]},
+			{"DY", f.DY, sb.MinRead[dram.ClassDY]},
+			{"DX", f.DX, sb.MinWrite[dram.ClassDX]},
+			{"DW", f.DW, sb.MinWrite[dram.ClassDW]},
+		} {
+			if chk.got != chk.want {
+				t.Errorf("%v xf=%g: %s floor %d, BoundsOf %d", c.d, c.xf, chk.name, chk.got, chk.want)
+			}
+		}
+		fb := BoundsOf(schedule.Forward(p).Ops)
+		if f.Y != fb.MinWrite[dram.ClassY] {
+			t.Errorf("%v: Y floor %d, BoundsOf %d", c.d, f.Y, fb.MinWrite[dram.ClassY])
+		}
+		if f.Ops != int64(p.OpCount()) {
+			t.Errorf("%v: ops %d, OpCount %d", c.d, f.Ops, p.OpCount())
+		}
+	}
+}
+
+// TestComputeSumExact pins the closed-form compute totals to the simulated
+// ComputeCycles of the corresponding streams — equality, not just a bound:
+// the compute stage is order-independent.
+func TestComputeSumExact(t *testing.T) {
+	t.Parallel()
+	for _, ws := range []bool{false, true} {
+		cfg := config.SmallNPU()
+		if ws {
+			cfg.Dataflow = config.WeightStationary
+		}
+		cfg.ArrayRows, cfg.ArrayCols = 10, 14
+		for _, d := range []tensor.Dims{
+			{M: 64, K: 64, N: 64},
+			{M: 65, K: 33, N: 17},
+			{M: 3, K: 41, N: 9},
+		} {
+			p := testParams(d, schedule.Tiling{Tm: 16, Tk: 12, Tn: 16}, 4, 0)
+			f := FloorsOf(cfg, p)
+			bwd := sim.RunSchedules(cfg, sim.Options{}, schedule.BaselineBackward(p))
+			if got := f.CompDX + f.CompDW; got != bwd.ComputeCycles {
+				t.Errorf("ws=%v %v: backward compute %d, simulated %d", ws, d, got, bwd.ComputeCycles)
+			}
+			fwd := sim.RunSchedules(cfg, sim.Options{}, schedule.Forward(p))
+			if f.CompFwd != fwd.ComputeCycles {
+				t.Errorf("ws=%v %v: forward compute %d, simulated %d", ws, d, f.CompFwd, fwd.ComputeCycles)
+			}
+		}
+	}
+}
+
+// TestPassBoundsBelowSimulation spot-checks the assembled bounds against
+// full simulations (the property suite covers the generator's space; this
+// keeps a deterministic anchor in this package).
+func TestPassBoundsBelowSimulation(t *testing.T) {
+	t.Parallel()
+	cfg := config.SmallNPU()
+	for _, d := range []tensor.Dims{
+		{M: 128, K: 96, N: 80},
+		{M: 33, K: 17, N: 65},
+	} {
+		p := testParams(d, schedule.ChooseTiling(d, cfg), cfg.ElemBytes, 0)
+		pb := BackwardBounds(cfg, p, false, false)
+		r := sim.RunSchedules(cfg, sim.Options{},
+			schedule.Schedule{Name: "dx", Ops: schedule.BaselineDX(p)},
+			schedule.Schedule{Name: "dw", Ops: schedule.BaselineDW(p)},
+		)
+		if pb.Cycles > r.Cycles {
+			t.Errorf("%v: cycle bound %d above simulated %d", d, pb.Cycles, r.Cycles)
+		}
+		if pb.CyclesSeq > r.Cycles {
+			t.Errorf("%v: sequential cycle bound %d above simulated %d", d, pb.CyclesSeq, r.Cycles)
+		}
+		if pb.Traffic > r.Traffic.Total() {
+			t.Errorf("%v: traffic floor %d above simulated %d", d, pb.Traffic, r.Traffic.Total())
+		}
+		if pb.TrafficSeq > r.Traffic.Total() {
+			t.Errorf("%v: sequential traffic floor %d above simulated %d", d, pb.TrafficSeq, r.Traffic.Total())
+		}
+		if pb.Mem > r.MemCycles {
+			t.Errorf("%v: mem floor %d above simulated %d", d, pb.Mem, r.MemCycles)
+		}
+		fb := ForwardBounds(cfg, p)
+		fr := sim.RunSchedules(cfg, sim.Options{}, schedule.Forward(p))
+		if fb.Cycles > fr.Cycles || fb.Traffic > fr.Traffic.Total() {
+			t.Errorf("%v: forward bounds (%d cyc, %d B) above simulated (%d cyc, %d B)",
+				d, fb.Cycles, fb.Traffic, fr.Cycles, fr.Traffic.Total())
+		}
+	}
+}

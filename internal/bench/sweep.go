@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"testing"
+
+	"igosim/internal/config"
+	"igosim/internal/core"
+	"igosim/internal/dse"
+	"igosim/internal/workload"
+)
+
+// SweepSpace is the canonical design-space-exploration workload: BERT-tiny
+// on the small NPU over a dense log-spaced bandwidth axis, two scratchpad
+// sizes, two tiling caps and the baseline/partitioned policy pair. Dense
+// single-axis neighborhoods plus the baseline policy's zero reduction cap
+// are where the analytic pruner earns its keep, so this grid exercises the
+// pruned and simulated paths in realistic proportion (a few hundred points,
+// seconds of wall time).
+func SweepSpace() dse.Space {
+	s := dse.Space{
+		Model:    workload.BERTTiny(),
+		Base:     config.SmallNPU(),
+		Cores:    []int{1},
+		SPMMiB:   []float64{2, 4},
+		TkCaps:   []int{0, 64},
+		Policies: []core.Policy{core.PolBaseline, core.PolPartition},
+	}
+	s.BWGBs = logAxis(16, 256, 30)
+	return s
+}
+
+// logAxis returns n log-spaced points from lo to hi inclusive, computed
+// with integer-exponent arithmetic only so the axis is bit-stable across
+// platforms (no math.Pow of a data-dependent exponent).
+func logAxis(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	ratio := rootN(hi/lo, n-1)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}
+
+// rootN computes x^(1/n) by bisection to full float precision.
+func rootN(x float64, n int) float64 {
+	lo, hi := 1.0, x
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		p := 1.0
+		for j := 0; j < n; j++ {
+			p *= mid
+		}
+		if p < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SweepResult is the summary cmd/benchjson serializes as BENCH_sweep.json.
+type SweepResult struct {
+	Points       int     `json:"points"`
+	Simulated    int     `json:"simulated"`
+	PrunedFrac   float64 `json:"pruned_fraction"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	FrontierSize int     `json:"frontier_size"`
+}
+
+// RunSweep executes the canonical sweep once with pruning at the default
+// relaxations and summarizes it; wallSeconds comes from the caller so this
+// package stays wall-clock free.
+func RunSweep(wallSeconds float64) (SweepResult, error) {
+	space := SweepSpace()
+	res, err := dse.Run(space, dse.Options{Prune: true, Eps: -1, EpsRed: -1})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	out := SweepResult{
+		Points:       space.Size(),
+		Simulated:    res.Simulated,
+		WallSeconds:  wallSeconds,
+		FrontierSize: len(res.Frontier),
+	}
+	if n := len(res.Rows); n > 0 {
+		out.PrunedFrac = float64(res.Pruned) / float64(n)
+	}
+	if wallSeconds > 0 {
+		out.PointsPerSec = float64(space.Size()) / wallSeconds
+	}
+	return out, nil
+}
+
+// SweepPruned returns a benchmark body running the canonical pruned sweep
+// end to end, reporting throughput (points/s) and the pruned fraction.
+func SweepPruned() func(*testing.B) {
+	space := SweepSpace()
+	total := space.Size()
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var res dse.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = dse.Run(space, dse.Options{Prune: true, Eps: -1, EpsRed: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		if secs > 0 {
+			b.ReportMetric(float64(total)/secs, "points/s")
+		}
+		b.ReportMetric(100*float64(res.Pruned)/float64(total), "pruned_%")
+	}
+}

@@ -72,6 +72,14 @@ type NPU struct {
 
 	// Dataflow selects the compute-timing mapping.
 	Dataflow Dataflow
+
+	// TkCap caps the contraction-dimension tile the baseline tiling
+	// strategy (schedule.ChooseTiling) may pick; zero selects the built-in
+	// default. It is a software tiling knob rather than a hardware
+	// parameter: it only shapes the tile grid, which the memoization keys
+	// already capture through TileParams, so it is excluded from
+	// Fingerprint. The design-space sweep uses it as its tiling axis.
+	TkCap int
 }
 
 // Validate reports a descriptive error when the configuration is unusable.
@@ -93,6 +101,8 @@ func (c NPU) Validate() error {
 		return fmt.Errorf("config: %q has invalid batch size %d", c.Name, c.Batch)
 	case c.DRAMLatency < 0:
 		return errors.New("config: negative DRAM latency")
+	case c.TkCap < 0:
+		return fmt.Errorf("config: %q has negative contraction-tile cap %d", c.Name, c.TkCap)
 	}
 	return nil
 }
@@ -163,6 +173,13 @@ func (c NPU) WithBandwidth(bytesPerSec float64) NPU {
 // WithBatch returns a copy with the per-core batch size replaced.
 func (c NPU) WithBatch(b int) NPU {
 	c.Batch = b
+	return c
+}
+
+// WithTkCap returns a copy with the contraction-tile cap replaced (0
+// restores the built-in default).
+func (c NPU) WithTkCap(cap int) NPU {
+	c.TkCap = cap
 	return c
 }
 

@@ -1,0 +1,82 @@
+package dse
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"igosim/internal/runner"
+)
+
+// shardFile is the checkpoint written after each completed shard. The
+// fingerprint binds it to one exact Space (model, base config, axes): a
+// resume under any other spec rejects the file instead of merging foreign
+// rows. Rows hold every grid point in [Lo, Hi) in index order, so replaying
+// completed shards reproduces the original run's state exactly.
+type shardFile struct {
+	Fingerprint string `json:"fingerprint"`
+	Shard       int    `json:"shard"`
+	Lo          int    `json:"lo"`
+	Hi          int    `json:"hi"`
+	Complete    bool   `json:"complete"`
+	Rows        []Row  `json:"rows"`
+}
+
+// shardPath names shard i's checkpoint file inside dir.
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%06d.json", i))
+}
+
+// writeShard persists one completed shard atomically: the JSON is written
+// to a temp file in the same directory and renamed into place, so a kill
+// mid-write leaves either the old state or the new one, never a torn file.
+func writeShard(dir string, s runner.Shard, fingerprint string, rows []Row) error {
+	f := shardFile{Fingerprint: fingerprint, Shard: s.Index, Lo: s.Lo, Hi: s.Hi, Complete: true, Rows: rows}
+	enc, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("dse: encoding shard %d: %w", s.Index, err)
+	}
+	tmp, err := os.CreateTemp(dir, fmt.Sprintf(".shard-%06d-*", s.Index))
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), shardPath(dir, s.Index))
+}
+
+// loadShard reads shard s's checkpoint. It returns (nil, nil) when the file
+// does not exist — the shard simply has not run yet — and an error when a
+// file exists but belongs to a different spec or disagrees with the shard
+// geometry (resuming would silently corrupt the sweep).
+func loadShard(dir string, s runner.Shard, fingerprint string) ([]Row, error) {
+	enc, err := os.ReadFile(shardPath(dir, s.Index))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f shardFile
+	if err := json.Unmarshal(enc, &f); err != nil {
+		return nil, fmt.Errorf("dse: corrupt checkpoint %s: %w", shardPath(dir, s.Index), err)
+	}
+	if f.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("dse: checkpoint %s was written by a different sweep spec (fingerprint %.12s, want %.12s); use a fresh -checkpoint directory", shardPath(dir, s.Index), f.Fingerprint, fingerprint)
+	}
+	if f.Shard != s.Index || f.Lo != s.Lo || f.Hi != s.Hi || len(f.Rows) != s.Len() {
+		return nil, fmt.Errorf("dse: checkpoint %s covers [%d,%d) with %d rows, want shard %d [%d,%d)", shardPath(dir, s.Index), f.Lo, f.Hi, len(f.Rows), s.Index, s.Lo, s.Hi)
+	}
+	if !f.Complete {
+		return nil, nil // recompute incomplete shards from scratch
+	}
+	return f.Rows, nil
+}

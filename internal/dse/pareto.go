@@ -1,0 +1,21 @@
+package dse
+
+// Pareto returns the grid indices of the simulated rows on the
+// (cycles, traffic, reduction) Pareto frontier — lower IgoCycles, lower
+// Traffic, higher Reduction — in ascending index order. Duplicate objective
+// vectors keep only their lowest-indexed representative (the canonical
+// beats relation), so the result is a pure function of the row set.
+func Pareto(rows []Row) []int {
+	var f frontier
+	for _, r := range rows {
+		if r.Status != StatusSimulated {
+			continue
+		}
+		f.Add(simPoint{r.Index, r.IgoCycles, r.Traffic, r.Reduction})
+	}
+	out := make([]int, len(f.pts))
+	for i, p := range f.pts {
+		out[i] = p.Index
+	}
+	return out
+}

@@ -35,7 +35,7 @@ var Analyzer = &analysis.Analyzer{
 var forbidden = []string{
 	"internal/sim", "internal/core", "internal/spm",
 	"internal/schedule", "internal/dram", "internal/energy",
-	"internal/refmodel", "internal/proptest",
+	"internal/refmodel", "internal/proptest", "internal/dse",
 }
 
 // marked packages may read the wall clock with a documented marker.

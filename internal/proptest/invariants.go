@@ -33,6 +33,7 @@ func Invariants() []Invariant {
 		{"conservation", CheckConservation},
 		{"partition", CheckPartition},
 		{"dy-reuse", CheckDYReuse},
+		{"analytic-bounds", CheckAnalyticBounds},
 	}
 }
 
@@ -276,6 +277,59 @@ func CheckCoverage(d schedule.Dims, t schedule.Tiling, streams [][]schedule.Op) 
 	if len(seen) != want {
 		return fmt.Errorf("streams cover %d grid points, want %d (%dx%dx%d per gradient)",
 			len(seen), want, mt, kt, nt)
+	}
+	return nil
+}
+
+// CheckAnalyticBounds holds internal/analytic's sweep-pruning lower bounds
+// (lower.go) at or below the simulated values on every schedule variant the
+// generator produces — the soundness property internal/dse's pruner rests
+// on: a point whose *bound* is dominated would also be dominated by its
+// *simulation*, so skipping it never discards a frontier point (up to the
+// sweep's explicit epsilon relaxations). Both FreeDYOnDW modes run, since
+// the dY floor is dropped under the free-dY limit study. The sequential
+// two-kernel baseline additionally meets the tighter TrafficSeq/CyclesSeq
+// floors that fuel the reduction cap.
+func CheckAnalyticBounds(c Case) error {
+	cfg := c.Config()
+	p := c.Params()
+	fb := analytic.ForwardBounds(cfg, p)
+	fr := sim.RunSchedules(cfg, sim.Options{}, schedule.Forward(p))
+	if err := passBelow("forward", fb, fr, fb.Traffic, fb.Mem); err != nil {
+		return err
+	}
+	for _, free := range []bool{false, true} {
+		pb := analytic.BackwardBounds(cfg, p, false, free)
+		r := sim.RunSchedules(cfg, sim.Options{FreeDYOnDW: free}, c.Schedules()...)
+		if err := passBelow(fmt.Sprintf("backward(freeDY=%v)", free), pb, r, pb.Traffic, pb.Mem); err != nil {
+			return err
+		}
+		if c.Variant == VariantBaselineTwoKernel && !free {
+			if pb.TrafficSeq > r.Traffic.Total() {
+				return fmt.Errorf("sequential traffic floor %d above two-kernel baseline %d", pb.TrafficSeq, r.Traffic.Total())
+			}
+			if pb.MemSeq > r.MemCycles {
+				return fmt.Errorf("sequential mem floor %d above two-kernel baseline %d", pb.MemSeq, r.MemCycles)
+			}
+			if pb.CyclesSeq > r.Cycles {
+				return fmt.Errorf("sequential cycle bound %d above two-kernel baseline %d", pb.CyclesSeq, r.Cycles)
+			}
+		}
+	}
+	return nil
+}
+
+// passBelow compares one pass's analytic bounds against a simulation.
+func passBelow(pass string, pb analytic.PassBounds, r sim.Result, traffic, mem int64) error {
+	switch {
+	case pb.Compute > r.ComputeCycles:
+		return fmt.Errorf("%s: compute total %d above simulated %d (must be exact-or-below)", pass, pb.Compute, r.ComputeCycles)
+	case mem > r.MemCycles:
+		return fmt.Errorf("%s: mem floor %d above simulated %d", pass, mem, r.MemCycles)
+	case pb.Cycles > r.Cycles:
+		return fmt.Errorf("%s: cycle bound %d above simulated makespan %d", pass, pb.Cycles, r.Cycles)
+	case traffic > r.Traffic.Total():
+		return fmt.Errorf("%s: traffic floor %d above simulated %d", pass, traffic, r.Traffic.Total())
 	}
 	return nil
 }

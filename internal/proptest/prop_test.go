@@ -199,3 +199,8 @@ func (f *fakeFailer) Fatalf(format string, args ...any) {
 	f.failed = true
 	f.msg = fmt.Sprintf(format, args...)
 }
+
+func TestPropertyAnalyticBounds(t *testing.T) {
+	t.Parallel()
+	Run(t, "analytic-bounds", casesPerInvariant, CheckAnalyticBounds)
+}

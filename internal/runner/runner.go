@@ -10,6 +10,9 @@
 //     deterministic result ordering (results land at their input index, so
 //     output is byte-identical regardless of worker count) and, for MapErr,
 //     context cancellation on the first error;
+//   - Shards: deterministic partitioning of a flattened work grid into
+//     contiguous index ranges, the unit of checkpointing for resumable
+//     sweeps (internal/dse);
 //   - Cache (cache.go): a sharded, shape-keyed memoization cache for
 //     per-layer simulation results.
 package runner
@@ -166,4 +169,34 @@ func runTaskErr[T, R any](sink *trace.Sink, worker, index int, ctx context.Conte
 	r, err := fn(ctx, item)
 	sink.Task(worker, index, begin, time.Now()) //lint:wallclock span end timestamp, same wall-clock domain as begin
 	return r, err
+}
+
+// Shard is one contiguous half-open index range [Lo, Hi) of a flattened
+// work grid. Sharding is pure arithmetic on (total, size): the same inputs
+// always produce the same shard boundaries, which is what lets a resumed
+// sweep line its checkpoint files up with a fresh run's shards.
+type Shard struct {
+	Index  int
+	Lo, Hi int
+}
+
+// Len returns the number of grid points in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// Shards partitions [0, total) into consecutive ranges of at most size
+// points (the last shard takes the remainder). size <= 0 yields a single
+// shard covering everything; total <= 0 yields none.
+func Shards(total, size int) []Shard {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 || size > total {
+		size = total
+	}
+	n := (total + size - 1) / size
+	out := make([]Shard, 0, n)
+	for lo := 0; lo < total; lo += size {
+		out = append(out, Shard{Index: len(out), Lo: lo, Hi: min(lo+size, total)})
+	}
+	return out
 }

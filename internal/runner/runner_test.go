@@ -168,3 +168,41 @@ func TestMapErrStopsClaimingAfterFailure(t *testing.T) {
 		}
 	})
 }
+
+func TestShards(t *testing.T) {
+	for _, tc := range []struct {
+		total, size int
+		want        []Shard
+	}{
+		{0, 10, nil},
+		{-3, 10, nil},
+		{5, 0, []Shard{{0, 0, 5}}},
+		{5, 10, []Shard{{0, 0, 5}}},
+		{10, 5, []Shard{{0, 0, 5}, {1, 5, 10}}},
+		{11, 5, []Shard{{0, 0, 5}, {1, 5, 10}, {2, 10, 11}}},
+		{1, 1, []Shard{{0, 0, 1}}},
+	} {
+		got := Shards(tc.total, tc.size)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Shards(%d, %d) = %v, want %v", tc.total, tc.size, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Shards(%d, %d)[%d] = %v, want %v", tc.total, tc.size, i, got[i], tc.want[i])
+			}
+		}
+	}
+	// Shards cover [0, total) exactly once, in order, whatever the size.
+	for _, size := range []int{1, 3, 7, 100} {
+		next := 0
+		for _, s := range Shards(100, size) {
+			if s.Lo != next || s.Hi <= s.Lo || s.Len() != s.Hi-s.Lo {
+				t.Fatalf("size %d: bad shard %v at offset %d", size, s, next)
+			}
+			next = s.Hi
+		}
+		if next != 100 {
+			t.Fatalf("size %d: shards cover %d of 100", size, next)
+		}
+	}
+}

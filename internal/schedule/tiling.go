@@ -16,10 +16,14 @@ import (
 // co-resident, leaving room for the cross-op reuse the baseline already
 // exploits.
 func ChooseTiling(d tensor.Dims, cfg config.NPU) Tiling {
-	return chooseTiling(d, cfg.ArrayRows, cfg.ArrayCols, cfg.SPMBytes, cfg.ElemBytes)
+	return chooseTiling(d, cfg.ArrayRows, cfg.ArrayCols, cfg.SPMBytes, cfg.ElemBytes, cfg.TkCap)
 }
 
-func chooseTiling(d tensor.Dims, rows, cols int, spmBytes int64, elemBytes int) Tiling {
+// DefaultTkCap is the contraction-tile cap used when the configuration does
+// not set one (config.NPU.TkCap == 0).
+const DefaultTkCap = 256
+
+func chooseTiling(d tensor.Dims, rows, cols int, spmBytes int64, elemBytes, tkCap int) Tiling {
 	tm := min(d.M, rows)
 	tn := min(d.N, cols)
 
@@ -27,13 +31,13 @@ func chooseTiling(d tensor.Dims, rows, cols int, spmBytes int64, elemBytes int) 
 	perSet := budgetElems / 4                    // ~4 op working sets resident
 
 	tkMax := (perSet - int64(tm)*int64(tn)) / int64(tm+tn)
-	const (
-		tkFloor = 16
-		// tkCap keeps the contraction tile fine enough that the K dimension
-		// can be split across partitions and cores (Section 5's
-		// ifmap-sharing) without degenerating to one or two giant tiles.
-		tkCap = 256
-	)
+	const tkFloor = 16
+	// The default cap keeps the contraction tile fine enough that the K
+	// dimension can be split across partitions and cores (Section 5's
+	// ifmap-sharing) without degenerating to one or two giant tiles.
+	if tkCap <= 0 {
+		tkCap = DefaultTkCap
+	}
 	tk := int(tkMax)
 	if tk < tkFloor {
 		tk = tkFloor
