@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json vet lint ci golden trace-check fuzz-short cover sweep-check
+.PHONY: build test race bench bench-json vet lint ci golden trace-check fuzz-short cover sweep-check perf-check manifest-check
 
 build:
 	$(GO) build ./...
@@ -66,13 +66,29 @@ sweep-check:
 	$(GO) test ./internal/dse/ ./internal/analytic/ -count=1
 	sh scripts/sweep_check.sh
 
+# Perf-regression gate (DESIGN.md §3i): regenerate the BENCH_*.json
+# artifacts into a temp dir and igostat-diff them against the committed
+# baselines. Wall-clock leaves are tolerance-open (1x benchtime is noise);
+# allocs/op and sweep counts gate at zero. Runs before bench-json in `ci`
+# so the committed baselines are still pristine when compared. Move a
+# number deliberately with `make bench-json` in the same change.
+perf-check:
+	sh scripts/perf_check.sh
+
+# Manifest determinism gate (DESIGN.md §3i): igosim -manifest must write
+# byte-identical files at -j 1 and -j 8, igostat must self-diff clean, and
+# a one-cycle corruption must be caught by name.
+manifest-check:
+	$(GO) test ./internal/metrics/ -run 'TestManifest' -count=1
+	sh scripts/manifest_check.sh
+
 # Coverage profile across all packages; prints the total percentage that
 # README.md records under "Testing".
 cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-ci: vet build race bench bench-json trace-check lint sweep-check cover fuzz-short
+ci: vet build race bench perf-check bench-json trace-check lint manifest-check sweep-check cover fuzz-short
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

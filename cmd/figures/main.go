@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"igosim/internal/experiments"
+	"igosim/internal/metrics"
 	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/trace"
@@ -26,17 +27,25 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))
-		trials   = flag.Int("trials", experiments.DefaultKNNTrials, "KNN study repetitions")
-		seed     = flag.Int64("knn-seed", experiments.DefaultKNNSeed, "KNN study split-shuffle seed")
-		csv      = flag.Bool("csv", false, "emit tables as CSV")
-		timing   = flag.Bool("time", false, "print wall-clock time per experiment")
-		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
-		report   = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
-		compiled = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		fig        = flag.String("fig", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))
+		trials     = flag.Int("trials", experiments.DefaultKNNTrials, "KNN study repetitions")
+		seed       = flag.Int64("knn-seed", experiments.DefaultKNNSeed, "KNN study split-shuffle seed")
+		csv        = flag.Bool("csv", false, "emit tables as CSV")
+		timing     = flag.Bool("time", false, "print wall-clock time per experiment")
+		jobs       = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		traceOut   = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
+		report     = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled   = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		manifest   = flag.String("manifest", "", "write the deterministic run manifest (JSON, report digests) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	stopProf, err := metrics.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 	sim.SetCompiledDefault(*compiled)
 	runner.SetParallelism(*jobs)
 	stopTrace := trace.StartCLI(*traceOut, *report)
@@ -87,6 +96,39 @@ func main() {
 		}
 	}
 	if err := stopTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	if *manifest != "" {
+		// Each report is pinned by the content hash of its CSV table plus
+		// summary lines: a manifest diff catches any change to an evaluation
+		// artifact without embedding the whole table.
+		m := metrics.NewManifest("figures")
+		if err := m.SetFingerprint(struct {
+			Tool     string   `json:"tool"`
+			IDs      []string `json:"ids"`
+			Trials   int      `json:"trials"`
+			Seed     int64    `json:"seed"`
+			Compiled bool     `json:"compiled"`
+		}{"figures", ids, *trials, *seed, *compiled}); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			rep := r.rep
+			m.Reports = append(m.Reports, metrics.ReportDigest{
+				ID:     rep.ID,
+				Title:  rep.Title,
+				SHA256: metrics.Digest([]byte(rep.Table.CSV() + "\n" + strings.Join(rep.Summary, "\n"))),
+			})
+		}
+		m.Finalize(metrics.Default())
+		if err := m.WriteFile(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}

@@ -16,6 +16,8 @@ import (
 	"igosim/internal/core"
 	"igosim/internal/dram"
 	"igosim/internal/energy"
+	"igosim/internal/metrics"
+	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/trace"
 	"igosim/internal/workload"
@@ -23,20 +25,29 @@ import (
 
 func main() {
 	var (
-		cfgName   = flag.String("config", "large", "NPU config: small, large, gpu")
-		modelName = flag.String("model", "res", "model abbreviation from Table 4 (rcnn goo ncf res dlrm mob yolo bert T5) or 'all'")
-		polName   = flag.String("policy", "partition", "policy: baseline, interleave, rearrange, partition")
-		cores     = flag.Int("cores", 1, "number of NPU cores (large config only)")
-		bandwidth = flag.Float64("bw", 0, "override per-core DRAM bandwidth in GB/s (0 = preset)")
-		batch     = flag.Int("batch", 0, "override per-core batch size (0 = preset)")
-		perLayer  = flag.Bool("layers", false, "print per-layer breakdown")
-		withNRG   = flag.Bool("energy", false, "print an energy estimate (45nm coefficients)")
-		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
-		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
-		compiled  = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		cfgName    = flag.String("config", "large", "NPU config: small, large, gpu")
+		modelName  = flag.String("model", "res", "model abbreviation from Table 4 (rcnn goo ncf res dlrm mob yolo bert T5) or 'all'")
+		polName    = flag.String("policy", "partition", "policy: baseline, interleave, rearrange, partition")
+		cores      = flag.Int("cores", 1, "number of NPU cores (large config only)")
+		bandwidth  = flag.Float64("bw", 0, "override per-core DRAM bandwidth in GB/s (0 = preset)")
+		batch      = flag.Int("batch", 0, "override per-core batch size (0 = preset)")
+		perLayer   = flag.Bool("layers", false, "print per-layer breakdown")
+		withNRG    = flag.Bool("energy", false, "print an energy estimate (45nm coefficients)")
+		jobs       = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS; results are identical at any width)")
+		traceOut   = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
+		report     = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled   = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		manifest   = flag.String("manifest", "", "write the deterministic run manifest (JSON) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	stopProf, err := metrics.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 	sim.SetCompiledDefault(*compiled)
+	runner.SetParallelism(*jobs)
 	stopTrace := trace.StartCLI(*traceOut, *report)
 
 	cfg, suite, err := resolveConfig(*cfgName)
@@ -70,11 +81,15 @@ func main() {
 		cfg.Name, cfg.Cores, cfg.ArrayRows, cfg.ArrayCols, cfg.DRAMBandwidth/1e9,
 		fmtBytes(cfg.SPMBytes), cfg.Batch)
 
+	var workloads []metrics.WorkloadResult
 	for _, m := range models {
 		base := core.RunTraining(cfg, sim.Options{}, m, core.PolBaseline)
 		run := base
 		if pol != core.PolBaseline {
 			run = core.RunTraining(cfg, sim.Options{}, m, pol)
+		}
+		if *manifest != "" {
+			workloads = append(workloads, core.ManifestWorkload(cfg, base, run))
 		}
 		fmt.Printf("%-5s  policy=%-17s fwd %12d cyc   bwd %12d cyc   total %12d cyc   (%.3f ms)\n",
 			m.Abbr, run.Policy, run.FwdCycles, run.BwdCycles, run.TotalCycles(),
@@ -103,9 +118,49 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// Capture the trace digest before stopTrace uninstalls the sink.
+	var traceSum *metrics.TraceSummary
+	if sink := trace.Active(); sink != nil {
+		ts := sink.Metrics().ManifestSummary()
+		traceSum = &ts
+	}
 	if err := stopTrace(); err != nil {
 		fatal(err)
 	}
+	if *manifest != "" {
+		if err := writeManifest(*manifest, cfg, models, *polName, *compiled, workloads, traceSum); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+}
+
+// writeManifest emits the run's canonical record: fingerprint over
+// everything that determines the outcome, per-workload cycle/traffic
+// results, the derived cache report and the cycle-domain registry
+// snapshot. Byte-identical at any -j (see make manifest-check).
+func writeManifest(path string, cfg config.NPU, models []workload.Model, policy string, compiled bool, workloads []metrics.WorkloadResult, traceSum *metrics.TraceSummary) error {
+	m := metrics.NewManifest("igosim")
+	names := make([]string, len(models))
+	for i, w := range models {
+		names[i] = w.Abbr
+	}
+	if err := m.SetFingerprint(struct {
+		Tool     string     `json:"tool"`
+		Config   config.NPU `json:"config"`
+		Models   []string   `json:"models"`
+		Policy   string     `json:"policy"`
+		Compiled bool       `json:"compiled"`
+	}{"igosim", cfg, names, policy, compiled}); err != nil {
+		return err
+	}
+	m.Config = &cfg
+	m.Workloads = workloads
+	m.Trace = traceSum
+	m.Finalize(metrics.Default())
+	return m.WriteFile(path)
 }
 
 func printLayers(base, run core.ModelRun) {

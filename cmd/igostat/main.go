@@ -1,0 +1,129 @@
+// Command igostat compares and inspects the simulator's machine-readable
+// run records: manifests written by `-manifest` on igosim/figures/validate/
+// sweep, and the BENCH_*.json perf-trajectory artifacts.
+//
+// Usage:
+//
+//	igostat diff OLD.json NEW.json [-tol cycles=0,traffic=0,wall=15%]
+//	igostat show FILE.json
+//
+// diff exits 0 when no metric regressed beyond its tolerance, 1 naming
+// every regressed metric otherwise, 2 on usage or I/O errors. Tolerances
+// are key=value pairs: the key matches metric leaf names (substring) or the
+// pseudo-class "wall" (every wall-clock-derived leaf: ns_op, mb_s,
+// wall_seconds, points_per_sec, speedup, allocs_ratio); the value is an
+// absolute allowance or a percentage ("15%"). Lower-is-better is the
+// default direction; known benefit metrics (speedup, hit_rate, reduction,
+// points_per_sec, ...) gate on decreases instead. `make perf-check` runs
+// this tool against the committed BENCH artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"igosim/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "diff":
+		diffCmd(os.Args[2:])
+	case "show":
+		showCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: igostat diff OLD.json NEW.json [-tol key=val,...]")
+	fmt.Fprintln(os.Stderr, "       igostat show FILE.json")
+	os.Exit(2)
+}
+
+func diffCmd(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tolSpec := fs.String("tol", "", "tolerances, e.g. cycles=0,traffic=0,wall=15%")
+	quiet := fs.Bool("q", false, "suppress the OK summary line")
+	// Accept both `igostat diff a b -tol ...` and flag-first order.
+	var paths []string
+	for len(args) > 0 {
+		if args[0] != "" && args[0][0] != '-' {
+			paths = append(paths, args[0])
+			args = args[1:]
+			continue
+		}
+		break
+	}
+	fs.Parse(args)
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		usage()
+	}
+	tols, err := metrics.ParseTolerances(*tolSpec)
+	if err != nil {
+		fatal(err)
+	}
+	oldData, err := os.ReadFile(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	newData, err := os.ReadFile(paths[1])
+	if err != nil {
+		fatal(err)
+	}
+	res, err := metrics.Diff(oldData, newData, tols)
+	if err != nil {
+		fatal(err)
+	}
+	if !res.OK() {
+		for _, r := range res.Regressions {
+			fmt.Fprintf(os.Stderr, "igostat: REGRESSION %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "igostat: %d regression(s) in %s vs %s\n", len(res.Regressions), paths[1], paths[0])
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("igostat: OK — %d metrics compared, %d improved, 0 regressions\n", res.Compared, res.Improved)
+	}
+}
+
+func showCmd(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	nums, strs, err := metrics.Flatten(data)
+	if err != nil {
+		fatal(err)
+	}
+	keys := make([]string, 0, len(nums)+len(strs))
+	for k := range nums {
+		keys = append(keys, k)
+	}
+	for k := range strs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, p := range keys {
+		if v, ok := strs[p]; ok {
+			fmt.Printf("%-60s %s\n", p, v)
+			continue
+		}
+		fmt.Printf("%-60s %g\n", p, nums[p])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "igostat:", err)
+	os.Exit(2)
+}

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/dse"
+	"igosim/internal/metrics"
 	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
@@ -59,15 +61,35 @@ func main() {
 		resume    = flag.Bool("resume", false, "load completed shards from -checkpoint instead of recomputing them")
 		maxShards = flag.Int("max-shards", 0, "stop after N shards (for checkpoint testing; 0 = run all)")
 
-		csvPath  = flag.String("csv", "", "write all rows as CSV to this path (\"-\" = stdout)")
-		jobs     = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
-		report   = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
-		compiled = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		csvPath     = flag.String("csv", "", "write all rows as CSV to this path (\"-\" = stdout)")
+		jobs        = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		traceOut    = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
+		report      = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled    = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		manifest    = flag.String("manifest", "", "write the deterministic run manifest (JSON, prune efficacy) to this file")
+		metricsAddr = flag.String("metrics-http", "", "serve live metrics (Prometheus text / ?format=json) on this address, e.g. :9090")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	stopProf, err := metrics.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 	sim.SetCompiledDefault(*compiled)
 	runner.SetParallelism(*jobs)
+	if *metricsAddr != "" {
+		// Live scraping wants latency histograms too, so turn wall-clock
+		// collection on for the run; the server dies with the process.
+		metrics.SetTiming(true)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: metrics-http:", err)
+			}
+		}()
+	}
 	stopTrace := trace.StartCLI(*traceOut, *report)
 
 	model, err := workload.FindModel(*suiteName, *modelName)
@@ -103,21 +125,31 @@ func main() {
 		CheckpointDir: *ckptDir, Resume: *resume, MaxShards: *maxShards,
 	}
 	total := space.Size()
+	start := time.Now() //lint:wallclock sweep wall-clock for the points/s summary line
 	if total >= 10_000 {
+		// Live progress is sourced from the metrics registry: the prune
+		// counter is Cycle-domain (deterministic), while throughput and the
+		// ETA are wall-clock derivations for the human watching stderr.
+		prunedAt := metrics.Value("dse_points_total", "pruned")
 		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%.1f%%)", done, total, 100*float64(done)/float64(total))
+			pruned := metrics.Value("dse_points_total", "pruned") - prunedAt
+			elapsed := time.Since(start) //lint:wallclock progress throughput and ETA are host-time by nature
+			rate := float64(done) / elapsed.Seconds()
+			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%.1f%%) | pruned %.1f%% | %.0f points/s | ETA %s",
+				done, total, 100*float64(done)/float64(total),
+				100*frac(int(pruned), done), rate, eta.Round(time.Second))
 			if done >= total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
 
-	start := time.Now()
 	res, err := dse.Run(space, opts)
 	if err != nil {
 		fatal(err)
 	}
-	wall := time.Since(start)
+	wall := time.Since(start) //lint:wallclock sweep wall-clock for the points/s summary line
 
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, space, res.Rows); err != nil {
@@ -159,6 +191,38 @@ func main() {
 		fmt.Print(t)
 	}
 	if err := stopTrace(); err != nil {
+		fatal(err)
+	}
+	if *manifest != "" {
+		m := metrics.NewManifest("sweep")
+		if err := m.SetFingerprint(struct {
+			Tool        string `json:"tool"`
+			Space       string `json:"space"`
+			Prune       bool   `json:"prune"`
+			Eps, EpsRed float64
+			Budget      int  `json:"budget"`
+			ShardSize   int  `json:"shard_size"`
+			WaveSize    int  `json:"wave_size"`
+			Compiled    bool `json:"compiled"`
+		}{"sweep", space.Fingerprint(), *prune, *eps, *epsRed, *budget, *shardSize, *waveSize, *compiled}); err != nil {
+			fatal(err)
+		}
+		m.Sweep = &metrics.SweepSummary{
+			Points:         total,
+			Simulated:      res.Simulated,
+			Pruned:         res.Pruned,
+			Skipped:        res.Skipped,
+			Budgeted:       res.Budgeted,
+			PrunedFraction: frac(res.Pruned, len(res.Rows)),
+			FrontierSize:   len(res.Frontier),
+			Complete:       res.Complete,
+		}
+		m.Finalize(metrics.Default())
+		if err := m.WriteFile(*manifest); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 }

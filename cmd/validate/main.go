@@ -12,6 +12,7 @@
 //	validate                  # whole zoo, scaled layers
 //	validate -model res -v    # one model, per-layer progress
 //	validate -refcheck        # also diff every simulation against the oracle
+//	validate -manifest v.json # also write the run manifest (igostat diff)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"igosim/internal/metrics"
 	"igosim/internal/runner"
 	"igosim/internal/sim"
 	"igosim/internal/trace"
@@ -27,21 +29,28 @@ import (
 
 func main() {
 	var (
-		modelName = flag.String("model", "", "validate a single model (default: whole zoo)")
-		suiteName = flag.String("suite", "server", "zoo suite: edge or server")
-		verbose   = flag.Bool("v", false, "per-layer progress")
-		jobs      = flag.Int("j", 0, "parallel validation workers (0 = GOMAXPROCS)")
-		refCheck  = flag.Bool("refcheck", false, "replay every simulation through the refmodel oracle and require bit-exact counters")
-		traceOut  = flag.String("trace", "", "write Chrome trace-event JSON of the residency simulations to this file (view in Perfetto)")
-		report    = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
-		compiled  = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		modelName  = flag.String("model", "", "validate a single model (default: whole zoo)")
+		suiteName  = flag.String("suite", "server", "zoo suite: edge or server")
+		verbose    = flag.Bool("v", false, "per-layer progress")
+		jobs       = flag.Int("j", 0, "parallel validation workers (0 = GOMAXPROCS)")
+		refCheck   = flag.Bool("refcheck", false, "replay every simulation through the refmodel oracle and require bit-exact counters")
+		traceOut   = flag.String("trace", "", "write Chrome trace-event JSON of the residency simulations to this file (view in Perfetto)")
+		report     = flag.Bool("report", false, "print the trace-derived report: stall attribution, SPM occupancy, reuse distances")
+		compiled   = flag.Bool("compiled", true, "execute schedules on the compiled engine (false = reference interpreter; results are identical)")
+		manifest   = flag.String("manifest", "", "write the deterministic run manifest (JSON) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+	stopProf, err := metrics.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 	sim.SetCompiledDefault(*compiled)
 	runner.SetParallelism(*jobs)
 	stopTrace := trace.StartCLI(*traceOut, *report)
 
-	err := validate.Run(validate.Options{
+	sum, err := validate.Run(validate.Options{
 		Suite:    *suiteName,
 		Model:    *modelName,
 		Verbose:  *verbose,
@@ -53,6 +62,26 @@ func main() {
 		fatal(err)
 	}
 	if err := stopTrace(); err != nil {
+		fatal(err)
+	}
+	if *manifest != "" {
+		m := metrics.NewManifest("validate")
+		if err := m.SetFingerprint(struct {
+			Tool     string `json:"tool"`
+			Suite    string `json:"suite"`
+			Model    string `json:"model"`
+			RefCheck bool   `json:"refcheck"`
+			Compiled bool   `json:"compiled"`
+		}{"validate", *suiteName, *modelName, *refCheck, *compiled}); err != nil {
+			fatal(err)
+		}
+		m.Validate = &sum
+		m.Finalize(metrics.Default())
+		if err := m.WriteFile(*manifest); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 }

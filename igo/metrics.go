@@ -1,0 +1,39 @@
+package igo
+
+import (
+	"io"
+	"net/http"
+
+	"igosim/internal/metrics"
+)
+
+// MetricSample is one metric's snapshot row: name, optional label, domain
+// ("cycle" samples are deterministic — identical at any parallelism — while
+// "wall" samples describe host execution), kind, and value (histograms also
+// carry sum/min/max/quantiles).
+type MetricSample = metrics.Sample
+
+// Metrics returns the deterministic (cycle-domain) snapshot of the
+// simulator's metrics registry: model runs, simulated cycles, sweep prune
+// outcomes. Pass metric names to embed in dashboards or diff across runs.
+func Metrics() []MetricSample { return metrics.Default().Snapshot(metrics.Cycle) }
+
+// AllMetrics returns every registered metric, including wall-clock samples
+// (pool width, task latency, executed-pass totals) that legitimately vary
+// with parallelism and cache state.
+func AllMetrics() []MetricSample { return metrics.Default().Snapshot() }
+
+// WriteMetrics writes the full registry in Prometheus text exposition
+// format. Every sample carries a domain label ("cycle" or "wall").
+func WriteMetrics(w io.Writer) error { return metrics.Default().WritePrometheus(w) }
+
+// MetricsHandler serves the registry over HTTP: Prometheus text by default,
+// JSON with ?format=json. Mount it wherever the embedding application
+// exposes diagnostics.
+func MetricsHandler() http.Handler { return metrics.Handler() }
+
+// EnableMetricsTiming turns wall-clock latency collection on or off
+// (histograms such as runner task latency read the clock only while tracing
+// or timing is enabled) and reports the previous setting. Simulation
+// results are unaffected either way.
+func EnableMetricsTiming(on bool) bool { return metrics.SetTiming(on) }

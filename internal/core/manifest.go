@@ -1,0 +1,65 @@
+package core
+
+import (
+	"igosim/internal/config"
+	"igosim/internal/dram"
+	"igosim/internal/metrics"
+)
+
+// Model-run counters. Cycle domain: RunTraining/RunBackwardOnly are only
+// ever called from deterministic top-level request streams (CLI loops,
+// experiment harnesses, sweep waves), never from inside a racing cache
+// compute, so their counts are identical at every -j — which is what lets
+// run manifests embed them.
+var (
+	mModelRuns = metrics.NewCounter("core_model_runs_total",
+		"training-step simulations requested (deterministic request stream)", metrics.Cycle)
+	mModelCycles = metrics.NewCounter("core_model_cycles_total",
+		"simulated cycles summed over requested training steps", metrics.Cycle)
+)
+
+// countModelRun publishes one completed model run into the registry.
+func countModelRun(r ModelRun) {
+	mModelRuns.Inc()
+	mModelCycles.Add(r.TotalCycles())
+}
+
+// ManifestWorkload flattens one (baseline, run) pair into the manifest's
+// WorkloadResult: total/fwd/bwd cycles, per-class backward traffic,
+// scratchpad pressure and the paper's headline reduction. Every field is a
+// pure function of the simulation's inputs (cycle domain), so manifests
+// embedding it stay byte-identical across -j.
+func ManifestWorkload(cfg config.NPU, base, run ModelRun) metrics.WorkloadResult {
+	w := metrics.WorkloadResult{
+		Model:           run.Model,
+		Policy:          run.Policy.String(),
+		TotalCycles:     run.TotalCycles(),
+		FwdCycles:       run.FwdCycles,
+		BwdCycles:       run.BwdCycles,
+		BwdTrafficBytes: run.BwdTraffic.Total(),
+		Seconds:         run.Seconds(cfg),
+	}
+	if base.TotalCycles() != run.TotalCycles() || base.Policy != run.Policy {
+		w.BaseCycles = base.TotalCycles()
+		w.Reduction = Improvement(base, run)
+	}
+	for _, c := range dram.Classes() {
+		if v := run.BwdTraffic.Read[c]; v != 0 {
+			if w.BwdRead == nil {
+				w.BwdRead = make(map[string]int64)
+			}
+			w.BwdRead[c.String()] = v
+		}
+		if v := run.BwdTraffic.Write[c]; v != 0 {
+			if w.BwdWrite == nil {
+				w.BwdWrite = make(map[string]int64)
+			}
+			w.BwdWrite[c.String()] = v
+		}
+	}
+	for _, l := range run.Bwd {
+		w.Evictions += l.SPM.Evictions
+		w.Spills += l.Spills
+	}
+	return w
+}

@@ -2,10 +2,23 @@ package core
 
 import (
 	"igosim/internal/config"
+	"igosim/internal/metrics"
 	"igosim/internal/runner"
 	"igosim/internal/schedule"
 	"igosim/internal/sim"
 	"igosim/internal/stats"
+)
+
+// Memo execution counters. Wall domain, not cycle: under a miss race two
+// workers may both compute the same key (GetOrCompute documents this), and
+// tuning caches can re-enter memoLayer from a racing compute, so the
+// executed/served split varies legitimately with -j. The deterministic view
+// of the same cache lives in its stats entry count (manifest hit rate).
+var (
+	mLayerSims = metrics.NewCounter("core_layer_sims_total",
+		"layer simulations actually executed (memo misses)", metrics.Wall)
+	mLayerMemoHits = metrics.NewCounter("core_layer_memo_hits_total",
+		"layer simulations served from the memo", metrics.Wall)
 )
 
 // Layer-level memoization.
@@ -74,8 +87,13 @@ func memoLayer(key layerKey, opts sim.Options, compute func() LayerOutcome) Laye
 		computed = true
 		return compute()
 	})
-	if !computed && opts.Trace != nil {
-		opts.Trace.MemoHit("core/layer-sim", opts.TraceLabel)
+	if computed {
+		mLayerSims.Inc()
+	} else {
+		mLayerMemoHits.Inc()
+		if opts.Trace != nil {
+			opts.Trace.MemoHit("core/layer-sim", opts.TraceLabel)
+		}
 	}
 	return out
 }

@@ -106,6 +106,7 @@ func RunTraining(cfg config.NPU, opts sim.Options, m workload.Model, pol Policy)
 		run.BwdCycles += o.bwd.Cycles
 		run.BwdTraffic.Merge(o.bwd.Traffic)
 	}
+	countModelRun(run)
 	return run
 }
 
@@ -124,6 +125,7 @@ func RunBackwardOnly(cfg config.NPU, opts sim.Options, m workload.Model, pol Pol
 		run.BwdCycles += bwd.Cycles
 		run.BwdTraffic.Merge(bwd.Traffic)
 	}
+	countModelRun(run)
 	return run
 }
 

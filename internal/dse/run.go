@@ -6,9 +6,18 @@ import (
 	"sort"
 
 	"igosim/internal/core"
+	"igosim/internal/metrics"
 	"igosim/internal/runner"
 	"igosim/internal/sim"
 )
+
+// Sweep counters. Cycle domain: absorb() runs on the sequential shard loop
+// and rows carry deterministic statuses (the wave/prune schedule is
+// byte-identical for any worker count), so these totals are manifest-safe.
+// Checkpoint replays count too — a resumed sweep reports the same totals a
+// fresh run would.
+var mPoints = metrics.NewCounterVec("dse_points_total", "status",
+	"design-space grid points absorbed, by row status", metrics.Cycle)
 
 // Options steers one sweep execution.
 type Options struct {
@@ -163,6 +172,7 @@ type sweepState struct {
 // maxima, so replay reconstructs the exact pre-shard state.
 func (st *sweepState) absorb(rows []Row) {
 	for _, r := range rows {
+		mPoints.With(string(r.Status)).Inc()
 		if r.Status == StatusSimulated {
 			st.front.Add(simPoint{r.Index, r.IgoCycles, r.Traffic, r.Reduction})
 			if st.o.Budget > 0 {

@@ -1,11 +1,15 @@
-// Package ctrreg keeps the stats counter registry complete: every
+// Package ctrreg keeps the observability registries complete: every
 // stats.CacheCounters constructed at package level must come from
 // stats.NewCacheCounters, which registers it so igo.ResetCaches /
-// stats.ResetAllCacheCounters can zero it between runs. A counter built
-// with a composite literal (or new, or declared as a zero value) never
-// registers, so back-to-back experiment runs silently mix its hit/miss
-// totals — the kind of cross-run contamination the parallel golden tests
-// cannot see because it only skews the observability report.
+// stats.ResetAllCacheCounters can zero it between runs, and every
+// metrics.Counter / Gauge / Histogram / CounterVec must come from the
+// metrics constructors, which register it in the process-wide registry so
+// it appears in run manifests and exposition and resets with
+// metrics.Reset. A metric built with a composite literal (or new, or
+// declared as a zero value) never registers, so back-to-back experiment
+// runs silently mix its totals — the kind of cross-run contamination the
+// parallel golden tests cannot see because it only skews the observability
+// report.
 package ctrreg
 
 import (
@@ -20,14 +24,25 @@ import (
 // Analyzer is the ctrreg check.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctrreg",
-	Doc: "package-level stats.CacheCounters must be constructed with " +
-		"stats.NewCacheCounters so ResetAllCacheCounters can zero them",
+	Doc: "package-level stats.CacheCounters and metrics.Counter/Gauge/Histogram/CounterVec " +
+		"must be built via their registering constructors",
 	Run: run,
 }
 
+// watched maps defining-package suffix to the registered type names whose
+// bare construction bypasses registration.
+var watched = map[string]map[string]bool{
+	"internal/stats":   {"CacheCounters": true},
+	"internal/metrics": {"Counter": true, "Gauge": true, "Histogram": true, "CounterVec": true},
+}
+
 func run(pass *analysis.Pass) error {
-	if p := pass.Pkg.Path(); p == "internal/stats" || strings.HasSuffix(p, "/internal/stats") {
-		return nil // the constructor's own package builds the literal
+	// The constructors' own packages build the literals.
+	p := pass.Pkg.Path()
+	for pkg := range watched {
+		if p == pkg || strings.HasSuffix(p, "/"+pkg) {
+			return nil
+		}
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -43,8 +58,10 @@ func run(pass *analysis.Pass) error {
 				if len(vs.Values) == 0 {
 					// Zero-value declaration: a value-typed counter is live
 					// and unregistered; a nil pointer is just nil.
-					if vs.Type != nil && isCacheCounters(pass.TypesInfo.TypeOf(vs.Type)) {
-						pass.Reportf(vs.Pos(), "zero-value stats.CacheCounters is never registered; construct with stats.NewCacheCounters so ResetAllCacheCounters can zero it")
+					if vs.Type != nil {
+						if name := watchedType(pass.TypesInfo.TypeOf(vs.Type)); name != "" {
+							pass.Reportf(vs.Pos(), "zero-value %s is never registered; construct with its registering constructor so resets and manifests see it", name)
+						}
 					}
 					continue
 				}
@@ -63,15 +80,15 @@ func checkInit(pass *analysis.Pass, expr ast.Expr) {
 	ast.Inspect(expr, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
-			if isCacheCounters(pass.TypesInfo.TypeOf(n)) {
-				pass.Reportf(n.Pos(), "stats.CacheCounters composite literal bypasses registration; use stats.NewCacheCounters so ResetAllCacheCounters can zero it")
+			if name := watchedType(pass.TypesInfo.TypeOf(n)); name != "" {
+				pass.Reportf(n.Pos(), "%s composite literal bypasses registration; use its registering constructor so resets and manifests see it", name)
 				return false
 			}
 		case *ast.CallExpr:
 			if id, ok := n.Fun.(*ast.Ident); ok {
 				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" && len(n.Args) == 1 {
-					if isCacheCounters(pass.TypesInfo.TypeOf(n.Args[0])) {
-						pass.Reportf(n.Pos(), "new(stats.CacheCounters) bypasses registration; use stats.NewCacheCounters so ResetAllCacheCounters can zero it")
+					if name := watchedType(pass.TypesInfo.TypeOf(n.Args[0])); name != "" {
+						pass.Reportf(n.Pos(), "new(%s) bypasses registration; use its registering constructor so resets and manifests see it", name)
 						return false
 					}
 				}
@@ -81,21 +98,28 @@ func checkInit(pass *analysis.Pass, expr ast.Expr) {
 	})
 }
 
-// isCacheCounters reports whether t is exactly stats.CacheCounters. A
-// *CacheCounters is deliberately not matched: a nil pointer declaration is
-// inert, while a value-typed zero counter is live and unregistered.
-func isCacheCounters(t types.Type) bool {
+// watchedType reports the qualified name ("stats.CacheCounters",
+// "metrics.Counter", ...) when t is exactly one of the registered counter
+// types, or "" otherwise. A pointer type is deliberately not matched: a nil
+// pointer declaration is inert, while a value-typed zero counter is live
+// and unregistered.
+func watchedType(t types.Type) string {
 	if t == nil {
-		return false
+		return ""
 	}
 	named, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := named.Obj()
-	if obj.Name() != "CacheCounters" || obj.Pkg() == nil {
-		return false
+	if obj.Pkg() == nil {
+		return ""
 	}
 	path := obj.Pkg().Path()
-	return path == "internal/stats" || strings.HasSuffix(path, "/internal/stats")
+	for pkg, names := range watched {
+		if (path == pkg || strings.HasSuffix(path, "/"+pkg)) && names[obj.Name()] {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return ""
 }

@@ -1,9 +1,12 @@
 // Package ctrregtest is the ctrreg fixture: package-level counters must be
-// constructed through stats.NewCacheCounters so the process-wide registry
-// can reset them.
+// constructed through stats.NewCacheCounters (and metrics through the
+// metrics constructors) so the process-wide registries can reset them.
 package ctrregtest
 
-import "igosim/internal/stats"
+import (
+	"igosim/internal/metrics"
+	"igosim/internal/stats"
+)
 
 var registered = stats.NewCacheCounters("good")
 
@@ -32,3 +35,18 @@ func localIsFine() stats.CacheSnapshot {
 	c.Hit()
 	return c.Snapshot()
 }
+
+// Metrics registry types follow the same rule.
+
+var goodCounter = metrics.NewCounter("ctrregtest_good_total", "registered", metrics.Wall)
+
+var badCounter = &metrics.Counter{} // want `metrics\.Counter composite literal bypasses registration`
+
+var badGauge = new(metrics.Gauge) // want `new\(metrics\.Gauge\) bypasses registration`
+
+var badHist metrics.Histogram // want `zero-value metrics\.Histogram is never registered`
+
+var badVec = metrics.CounterVec{} // want `metrics\.CounterVec composite literal bypasses registration`
+
+// nilCounter stays nil until something constructs it properly.
+var nilCounter *metrics.Counter

@@ -90,6 +90,12 @@ func (l *Loader) dirFor(path string) string {
 	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
 		return dir
 	}
+	// The standard library vendors its golang.org/x dependencies (net/http
+	// pulls crypto/tls pulls golang.org/x/crypto/...) under src/vendor.
+	dir = filepath.Join(l.goroot(), "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir
+	}
 	return ""
 }
 

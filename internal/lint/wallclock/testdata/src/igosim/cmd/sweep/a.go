@@ -1,0 +1,15 @@
+// Package sweep is the wallclock fixture for the marked CLI: progress
+// throughput and ETA lines read the wall clock, and each read must carry a
+// //lint:wallclock marker documenting why.
+package sweep
+
+import "time"
+
+func progressRate(start time.Time, done int) float64 {
+	elapsed := time.Since(start) //lint:wallclock progress throughput is host-time by nature
+	return float64(done) / elapsed.Seconds()
+}
+
+func unmarked() time.Time {
+	return time.Now() // want `time\.Now in igosim/cmd/sweep needs a //lint:wallclock marker`
+}

@@ -8,10 +8,12 @@
 // exists precisely so the property suite never needs math/rand). Findings
 // in those packages are unsuppressable.
 //
-// internal/runner and internal/trace legitimately observe wall-clock time
-// (worker task spans, trace timestamps); each such use must carry a
-// `//lint:wallclock <reason>` marker on its line or the line above, which
-// both documents the exemption and suppresses the finding.
+// internal/runner, internal/trace, internal/metrics and cmd/sweep
+// legitimately observe wall-clock time (worker task spans, trace
+// timestamps, wall-domain metric observations, sweep progress ETA); each
+// such use must carry a `//lint:wallclock <reason>` marker on its line or
+// the line above, which both documents the exemption and suppresses the
+// finding.
 package wallclock
 
 import (
@@ -26,7 +28,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbids time.Now/Since/Sleep and math/rand in cycle-accounting packages; " +
-		"internal/runner and internal/trace uses need a //lint:wallclock marker",
+		"runner/trace/metrics/sweep uses need a //lint:wallclock marker",
 	Run: run,
 }
 
@@ -39,7 +41,7 @@ var forbidden = []string{
 }
 
 // marked packages may read the wall clock with a documented marker.
-var marked = []string{"internal/runner", "internal/trace"}
+var marked = []string{"internal/runner", "internal/trace", "internal/metrics", "cmd/sweep"}
 
 // clockFuncs are the time functions that read the wall clock.
 var clockFuncs = map[string]bool{"Now": true, "Since": true, "Sleep": true}

@@ -11,6 +11,7 @@ func TestWallclock(t *testing.T) {
 	analysistest.Run(t, "testdata", wallclock.Analyzer,
 		"igosim/internal/sim",    // forbidden: flagged, markers ignored
 		"igosim/internal/runner", // marked: flagged unless //lint:wallclock
+		"igosim/cmd/sweep",       // marked CLI: progress ETA reads need markers
 		"wcother",                // unscoped: ignored entirely
 	)
 }

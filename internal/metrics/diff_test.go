@@ -1,0 +1,205 @@
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+
+	"igosim/internal/metrics"
+)
+
+func TestParseTolerances(t *testing.T) {
+	tols, err := metrics.ParseTolerances(" cycles=0, wall=15%,traffic=100 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tols) != 3 {
+		t.Fatalf("parsed %d tolerances, want 3: %+v", len(tols), tols)
+	}
+	if tols[0].Key != "cycles" || tols[0].Abs != 0 || tols[0].Frac != 0 {
+		t.Fatalf("tols[0] = %+v", tols[0])
+	}
+	if tols[1].Key != "wall" || tols[1].Frac != 0.15 || tols[1].Abs != 0 {
+		t.Fatalf("tols[1] = %+v", tols[1])
+	}
+	if tols[2].Key != "traffic" || tols[2].Abs != 100 {
+		t.Fatalf("tols[2] = %+v", tols[2])
+	}
+	if tols, err := metrics.ParseTolerances("  "); err != nil || tols != nil {
+		t.Fatalf("blank spec: %v, %v", tols, err)
+	}
+	for _, bad := range []string{"cycles", "=5", "cycles=-1", "wall=-5%", "wall=x%"} {
+		if _, err := metrics.ParseTolerances(bad); err == nil {
+			t.Fatalf("ParseTolerances(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestDiffSelfIsOK(t *testing.T) {
+	doc := []byte(`{"total_cycles": 100, "tool": "igosim", "runs": [{"name": "a", "ns_op": 5}]}`)
+	res, err := metrics.Diff(doc, doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("self-diff regressed: %+v", res.Regressions)
+	}
+	if res.Compared == 0 {
+		t.Fatal("self-diff compared nothing")
+	}
+}
+
+func TestDiffRegressionNamed(t *testing.T) {
+	oldDoc := []byte(`{"sim": {"total_cycles": 100, "spill_tiles": 4}}`)
+	newDoc := []byte(`{"sim": {"total_cycles": 101, "spill_tiles": 4}}`)
+	res, err := metrics.Diff(oldDoc, newDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || len(res.Regressions) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	r := res.Regressions[0]
+	if r.Path != "sim.total_cycles" {
+		t.Fatalf("regression path = %q", r.Path)
+	}
+	if msg := r.String(); !strings.Contains(msg, "total_cycles") || !strings.Contains(msg, "100") || !strings.Contains(msg, "101") {
+		t.Fatalf("regression message %q does not name the metric and values", msg)
+	}
+	// Improvements (cycle count down) pass and are counted.
+	res, err = metrics.Diff(newDoc, oldDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Improved != 1 {
+		t.Fatalf("improvement misjudged: %+v", res)
+	}
+}
+
+func TestDiffHigherBetter(t *testing.T) {
+	oldDoc := []byte(`{"speedup": 10, "hit_rate": 0.9}`)
+	slower := []byte(`{"speedup": 8, "hit_rate": 0.9}`)
+	res, err := metrics.Diff(oldDoc, slower, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Regressions[0].Path != "speedup" {
+		t.Fatalf("speedup drop not gated: %+v", res)
+	}
+	faster := []byte(`{"speedup": 12, "hit_rate": 0.95}`)
+	res, err = metrics.Diff(oldDoc, faster, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Improved != 2 {
+		t.Fatalf("speedup rise misjudged: %+v", res)
+	}
+}
+
+func TestDiffTolerances(t *testing.T) {
+	oldDoc := []byte(`{"total_cycles": 100, "ns_op": 1000}`)
+	newDoc := []byte(`{"total_cycles": 104, "ns_op": 1100}`)
+
+	// No tolerance: both regress.
+	res, err := metrics.Diff(oldDoc, newDoc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 2 {
+		t.Fatalf("expected 2 regressions, got %+v", res)
+	}
+
+	// "wall" pseudo-tolerance covers ns_op but not total_cycles.
+	tols, _ := metrics.ParseTolerances("wall=15%")
+	res, err = metrics.Diff(oldDoc, newDoc, tols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 || res.Regressions[0].Path != "total_cycles" {
+		t.Fatalf("wall tolerance misapplied: %+v", res)
+	}
+
+	// Absolute allowance on cycles passes 4 of slack; last matching tol wins.
+	tols, _ = metrics.ParseTolerances("cycles=0,wall=15%,cycles=5")
+	res, err = metrics.Diff(oldDoc, newDoc, tols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("last-tol-wins failed: %+v", res)
+	}
+}
+
+func TestDiffStructuralChanges(t *testing.T) {
+	oldDoc := []byte(`{"a": 1, "tool": "igosim"}`)
+	// Missing numeric leaf regresses.
+	res, err := metrics.Diff(oldDoc, []byte(`{"tool": "igosim"}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || !strings.Contains(res.Regressions[0].String(), "missing from new") {
+		t.Fatalf("missing leaf not gated: %+v", res)
+	}
+	// New leaf not in the baseline regresses too (forces regeneration).
+	res, err = metrics.Diff(oldDoc, []byte(`{"a": 1, "b": 2, "tool": "igosim"}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || !strings.Contains(res.Regressions[0].String(), "not in old") {
+		t.Fatalf("added leaf not gated: %+v", res)
+	}
+	// A changed string field regresses regardless of tolerances.
+	tols, _ := metrics.ParseTolerances("tool=100%")
+	res, err = metrics.Diff(oldDoc, []byte(`{"a": 1, "tool": "other"}`), tols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || !strings.Contains(res.Regressions[0].String(), "changed") {
+		t.Fatalf("string change not gated: %+v", res)
+	}
+}
+
+func TestFlattenArrayKeying(t *testing.T) {
+	// Unique "name" fields key the elements, so reordering is harmless.
+	a := []byte(`{"runs": [{"name": "x", "v": 1}, {"name": "y", "v": 2}]}`)
+	b := []byte(`{"runs": [{"name": "y", "v": 2}, {"name": "x", "v": 1}]}`)
+	res, err := metrics.Diff(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("reordered named array regressed: %+v", res)
+	}
+	nums, _, err := metrics.Flatten(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nums["runs[x].v"] != 1 || nums["runs[y].v"] != 2 {
+		t.Fatalf("name-keyed paths missing: %v", nums)
+	}
+	// Without a unique key, elements fall back to index keying.
+	c := []byte(`{"vals": [10, 20]}`)
+	nums, _, err = metrics.Flatten(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nums["vals[0]"] != 10 || nums["vals[1]"] != 20 {
+		t.Fatalf("index-keyed paths missing: %v", nums)
+	}
+	// Duplicate names also fall back to indices rather than colliding.
+	d := []byte(`{"runs": [{"name": "x", "v": 1}, {"name": "x", "v": 2}]}`)
+	nums, _, err = metrics.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nums["runs[0].v"] != 1 || nums["runs[1].v"] != 2 {
+		t.Fatalf("duplicate-name fallback wrong: %v", nums)
+	}
+	// Booleans and nulls land in the string map.
+	_, strs, err := metrics.Flatten([]byte(`{"ok": true, "none": null}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strs["ok"] != "true" || strs["none"] != "null" {
+		t.Fatalf("bool/null flattening wrong: %v", strs)
+	}
+}

@@ -1,0 +1,84 @@
+// Exposition: Prometheus text format, JSON snapshots, and an opt-in
+// net/http handler — the seed of the future igoserved surface. Everything
+// here is stdlib-only and read-only over the registry; serving metrics can
+// never perturb a simulation.
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Histograms are rendered summary-style (quantile
+// labels plus _sum and _count); every sample carries a domain label so a
+// scraper can split deterministic simulated quantities from host-execution
+// ones.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range r.Snapshot() {
+		if help := r.help(s.Name); help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", s.Name, help)
+		}
+		typ := s.Kind
+		if typ == "histogram" {
+			typ = "summary"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", s.Name, typ)
+		switch s.Kind {
+		case "histogram":
+			fmt.Fprintf(bw, "%s{domain=%q,quantile=\"0.5\"} %d\n", s.Name, s.Domain, s.P50)
+			fmt.Fprintf(bw, "%s{domain=%q,quantile=\"0.99\"} %d\n", s.Name, s.Domain, s.P99)
+			fmt.Fprintf(bw, "%s_sum{domain=%q} %d\n", s.Name, s.Domain, s.Sum)
+			fmt.Fprintf(bw, "%s_count{domain=%q} %d\n", s.Name, s.Domain, s.Value)
+		default:
+			if s.Label != "" {
+				fmt.Fprintf(bw, "%s{domain=%q,%s=%q} %d\n", s.Name, s.Domain, r.labelKey(s.Name), s.Label, s.Value)
+			} else {
+				fmt.Fprintf(bw, "%s{domain=%q} %d\n", s.Name, s.Domain, s.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the registry snapshot as indented JSON (all domains),
+// sorted by metric name — the same Sample schema manifests embed.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []Sample{}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default, the
+// JSON snapshot with ?format=json. Mount it wherever the embedding process
+// wants a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Handler serves the default registry (see Registry.Handler).
+func Handler() http.Handler { return defaultRegistry.Handler() }

@@ -1,0 +1,119 @@
+package metrics_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"igosim/internal/metrics"
+)
+
+func exposeRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	r.NewCounter("cyc_total", "a cycle-domain counter", metrics.Cycle).Add(7)
+	v := r.NewCounterVec("fam_total", "status", "a labeled family", metrics.Cycle)
+	v.With("ok").Add(3)
+	v.With("fail").Inc()
+	h := r.NewHistogram("lat_us", "a wall-domain histogram", metrics.Wall)
+	h.Observe(10)
+	h.Observe(20)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := exposeRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP cyc_total a cycle-domain counter",
+		"# TYPE cyc_total counter",
+		`cyc_total{domain="cycle"} 7`,
+		`fam_total{domain="cycle",status="ok"} 3`,
+		`fam_total{domain="cycle",status="fail"} 1`,
+		"# TYPE lat_us summary",
+		`lat_us{domain="wall",quantile="0.5"}`,
+		`lat_us_sum{domain="wall"} 30`,
+		`lat_us_count{domain="wall"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := exposeRegistry()
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var samples []metrics.Sample
+	if err := json.Unmarshal([]byte(b.String()), &samples); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v\n%s", err, b.String())
+	}
+	if len(samples) != 4 { // cyc + fam{fail,ok} + lat
+		t.Fatalf("snapshot has %d samples, want 4: %+v", len(samples), samples)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1].Name > samples[i].Name {
+			t.Fatalf("snapshot out of order: %+v", samples)
+		}
+	}
+
+	// An empty registry serializes as [], not null.
+	b.Reset()
+	if err := metrics.NewRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("empty registry JSON = %q, want []", b.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := exposeRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(url string) (string, string) {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get(srv.URL)
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("default content type = %q", ctype)
+	}
+	if !strings.Contains(body, `cyc_total{domain="cycle"} 7`) {
+		t.Fatalf("text body missing counter:\n%s", body)
+	}
+
+	body, ctype = get(srv.URL + "?format=json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("json content type = %q", ctype)
+	}
+	var samples []metrics.Sample
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatalf("handler JSON does not parse: %v", err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("handler returned %d samples, want 4", len(samples))
+	}
+}

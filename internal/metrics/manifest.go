@@ -1,0 +1,192 @@
+// Run manifests: one canonical JSON record per CLI invocation stating what
+// was measured, under which configuration, with which outcome. The schema
+// is deliberately restricted to the cycle domain — every field is a pure
+// function of the run's inputs, so a manifest's bytes are identical at any
+// -j (golden-tested) and `igostat diff` can gate on them exactly.
+//
+// Sorted output comes for free: encoding/json emits struct fields in
+// declaration order and map keys sorted, and the embedded registry
+// snapshot is sorted by Snapshot itself.
+package metrics
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"igosim/internal/config"
+	"igosim/internal/stats"
+)
+
+// ManifestSchema names the manifest's JSON schema version.
+const ManifestSchema = "igosim.manifest/1"
+
+// Manifest is one run's canonical record.
+type Manifest struct {
+	Schema      string            `json:"schema"`
+	Tool        string            `json:"tool"`
+	Fingerprint string            `json:"fingerprint"`
+	Config      *config.NPU       `json:"config,omitempty"`
+	Workloads   []WorkloadResult  `json:"workloads,omitempty"`
+	Reports     []ReportDigest    `json:"reports,omitempty"`
+	Validate    *ValidateSummary  `json:"validate,omitempty"`
+	Sweep       *SweepSummary     `json:"sweep,omitempty"`
+	Trace       *TraceSummary     `json:"trace,omitempty"`
+	Caches      []CacheInfo       `json:"caches"`
+	Metrics     []Sample          `json:"metrics"`
+	Extra       map[string]string `json:"extra,omitempty"`
+}
+
+// WorkloadResult is one (model, policy) training-step simulation: the
+// sim.Result-derived counters the paper's claims rest on.
+type WorkloadResult struct {
+	Model           string           `json:"model"`
+	Policy          string           `json:"policy"`
+	TotalCycles     int64            `json:"total_cycles"`
+	FwdCycles       int64            `json:"fwd_cycles"`
+	BwdCycles       int64            `json:"bwd_cycles"`
+	BaseCycles      int64            `json:"base_cycles,omitempty"`
+	Reduction       float64          `json:"reduction"`
+	BwdTrafficBytes int64            `json:"bwd_traffic_bytes"`
+	BwdRead         map[string]int64 `json:"bwd_read,omitempty"`
+	BwdWrite        map[string]int64 `json:"bwd_write,omitempty"`
+	Evictions       int64            `json:"spm_evictions"`
+	Spills          int64            `json:"spills"`
+	Seconds         float64          `json:"seconds"`
+}
+
+// ReportDigest pins one regenerated figure/table by content hash, so a
+// manifest diff catches any change to an evaluation artifact without
+// embedding the whole table.
+type ReportDigest struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	SHA256 string `json:"sha256"`
+}
+
+// ValidateSummary is the validation pass's outcome (cmd/validate).
+type ValidateSummary struct {
+	Layers    int   `json:"layers"`
+	Checks    int   `json:"checks"`
+	RefChecks int   `json:"ref_checks"`
+	SPMHits   int64 `json:"spm_hits"`
+	SPMMisses int64 `json:"spm_misses"`
+	Evictions int64 `json:"spm_evictions"`
+	Spills    int64 `json:"spills"`
+}
+
+// SweepSummary is a design-space sweep's prune efficacy and outcome.
+type SweepSummary struct {
+	Points         int     `json:"points"`
+	Simulated      int     `json:"simulated"`
+	Pruned         int     `json:"pruned"`
+	Skipped        int     `json:"skipped"`
+	Budgeted       int     `json:"budgeted"`
+	PrunedFraction float64 `json:"pruned_fraction"`
+	FrontierSize   int     `json:"frontier_size"`
+	Complete       bool    `json:"complete"`
+}
+
+// TraceSummary is the stall/occupancy digest of a traced run. It is only
+// present when tracing was requested; under memoization the set of
+// simulations that actually execute (and hence the traced totals) depends
+// on cache state, so byte-identity across -j is guaranteed only for
+// untraced manifests.
+type TraceSummary struct {
+	Cycles      int64 `json:"cycles"`
+	ComputeBusy int64 `json:"compute_busy"`
+	StallDMA    int64 `json:"stall_dma"`
+	StallSpill  int64 `json:"stall_spill"`
+	Spills      int64 `json:"spills"`
+	OccHWMBytes int64 `json:"occ_hwm_bytes"`
+	OccCapBytes int64 `json:"occ_cap_bytes"`
+}
+
+// CacheInfo is one memo cache's parallelism-independent statistics:
+// Entries is the final distinct-key count (-1 when the cache has no sizer).
+// Lookup and hit/miss counts are deliberately absent — they vary across -j,
+// both through miss races and because an outer cache's hit suppresses the
+// lookups a recomputation would have issued against nested caches. The
+// distinct-key set is the same under any interleaving, so the entry count
+// is the one cache statistic a manifest may carry.
+type CacheInfo struct {
+	Name    string `json:"name"`
+	Entries int64  `json:"entries"`
+}
+
+// NewManifest starts a manifest for the named tool.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{Schema: ManifestSchema, Tool: tool}
+}
+
+// SetFingerprint stores the SHA-256 of spec's canonical JSON as the run
+// fingerprint. Pass a struct carrying everything that determines the run:
+// tool, config, workload names, policy, relevant flags.
+func (m *Manifest) SetFingerprint(spec any) error {
+	fp, err := Fingerprint(spec)
+	if err != nil {
+		return err
+	}
+	m.Fingerprint = fp
+	return nil
+}
+
+// Fingerprint returns the SHA-256 hex digest of v's canonical JSON.
+func Fingerprint(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("metrics: fingerprint: %w", err)
+	}
+	return Digest(data), nil
+}
+
+// Digest returns the SHA-256 hex digest of raw bytes (report tables).
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Finalize fills the manifest's cache report and cycle-domain registry
+// snapshot. Call it once, after the run, before writing.
+func (m *Manifest) Finalize(r *Registry) {
+	m.Caches = cacheInfos(stats.CacheReport())
+	snap := r.Snapshot(Cycle)
+	if snap == nil {
+		snap = []Sample{}
+	}
+	m.Metrics = snap
+}
+
+func cacheInfos(snaps []stats.CacheSnapshot) []CacheInfo {
+	out := make([]CacheInfo, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, CacheInfo{Name: s.Name, Entries: s.Entries})
+	}
+	return out
+}
+
+// Encode writes the manifest as indented JSON with a trailing newline.
+func (m *Manifest) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

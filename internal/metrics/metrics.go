@@ -1,0 +1,422 @@
+// Package metrics is the simulator's process-wide metrics registry: named
+// counters, gauges and stats.Histogram-backed histograms, plus labeled
+// counter families, each registered under one of two domains.
+//
+// The domain split is the package's load-bearing idea:
+//
+//   - Cycle-domain metrics derive purely from simulated quantities and the
+//     deterministic request stream — they are byte-identical across worker
+//     counts (-j) and are the only metrics a run manifest may carry. The
+//     wallclock lint analyzer covers this package, so no wall-clock read
+//     can leak in silently.
+//
+//   - Wall-domain metrics describe host execution (task latency, pool
+//     width, which simulations actually executed under memo races). They
+//     are legitimate observability but vary run to run, so they are
+//     exposition-only: Prometheus text, JSON snapshots and the opt-in
+//     HTTP handler (expose.go) serve them; manifests never do.
+//
+// Counters and gauges are single atomic adds — safe on per-pass and
+// per-layer paths (never per-op; the compiled engine's hot loop stays
+// untouched). Time-based instrumentation is additionally gated behind
+// SetTiming so that, when nothing asked for metrics, no clock is read.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"igosim/internal/stats"
+)
+
+// Domain classifies a metric as deterministic-simulated or host-execution.
+type Domain uint8
+
+const (
+	// Cycle marks metrics derived from simulated quantities or the
+	// deterministic request stream: byte-identical across -j, manifest-safe.
+	Cycle Domain = iota
+	// Wall marks metrics describing host execution: exposition-only.
+	Wall
+)
+
+func (d Domain) String() string {
+	if d == Cycle {
+		return "cycle"
+	}
+	return "wall"
+}
+
+// Counter is a monotonically increasing metric. Construct with NewCounter
+// (or CounterVec.With) so the registry can reset and expose it; the ctrreg
+// lint analyzer flags package-level counters built any other way.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d < 0 is a programming error; the registry does not check).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a registered stats.Histogram behind a mutex (the underlying
+// histogram is a plain value type). Observe cost is a lock plus integer
+// bucketing — fine for per-task latencies, too slow for per-op paths.
+type Histogram struct {
+	mu sync.Mutex
+	h  stats.Histogram
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (h *Histogram) Snapshot() stats.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.h.Reset()
+	h.mu.Unlock()
+}
+
+// CounterVec is a family of counters distinguished by one label value
+// (e.g. dse point status). Children are created on first use; for a
+// deterministic input stream the resulting child set is deterministic too.
+type CounterVec struct {
+	labelKey string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.children == nil {
+		v.children = make(map[string]*Counter)
+	}
+	c := v.children[label]
+	if c == nil {
+		c = &Counter{}
+		v.children[label] = c
+	}
+	return c
+}
+
+// Value returns the child's count without creating it (0 when absent).
+func (v *CounterVec) Value(label string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[label]; c != nil {
+		return c.Value()
+	}
+	return 0
+}
+
+func (v *CounterVec) reset() {
+	v.mu.Lock()
+	v.children = nil
+	v.mu.Unlock()
+}
+
+// labels returns the child label values, sorted.
+func (v *CounterVec) labels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.children))
+	for l := range v.children {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// metric is one registry entry: exactly one of c/g/h/vec is non-nil.
+type metric struct {
+	name   string
+	help   string
+	domain Domain
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	vec    *CounterVec
+}
+
+func (m *metric) kind() string {
+	switch {
+	case m.c != nil || m.vec != nil:
+		return "counter"
+	case m.g != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds named metrics. The zero value is unusable; use Default()
+// or NewRegistry(). Registration sorts by name at snapshot time, so
+// exposition and manifest order never depend on init order.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	entries []*metric
+}
+
+// NewRegistry returns an empty registry (tests; production code shares
+// Default()).
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package-level metric
+// registers into.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", m.name))
+	}
+	r.byName[m.name] = m
+	r.entries = append(r.entries, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string, d Domain) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, domain: d, c: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string, d Domain) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, domain: d, g: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram.
+func (r *Registry) NewHistogram(name, help string, d Domain) *Histogram {
+	h := &Histogram{}
+	r.register(&metric{name: name, help: help, domain: d, h: h})
+	return h
+}
+
+// NewCounterVec registers and returns a counter family keyed by labelKey.
+func (r *Registry) NewCounterVec(name, labelKey, help string, d Domain) *CounterVec {
+	v := &CounterVec{labelKey: labelKey}
+	r.register(&metric{name: name, help: help, domain: d, vec: v})
+	return v
+}
+
+// Value looks a scalar metric's current value up by name (counter or gauge;
+// for a histogram it returns the observation count). A label selects a
+// CounterVec child. Unknown names and absent children return 0 — callers
+// like progress lines should not fail on a metric that has not fired yet.
+func (r *Registry) Value(name string, label ...string) int64 {
+	r.mu.Lock()
+	m := r.byName[name]
+	r.mu.Unlock()
+	if m == nil {
+		return 0
+	}
+	switch {
+	case m.vec != nil && len(label) > 0:
+		return m.vec.Value(label[0])
+	case m.c != nil:
+		return m.c.Value()
+	case m.g != nil:
+		return m.g.Value()
+	case m.h != nil:
+		h := m.h.Snapshot()
+		return h.Count()
+	}
+	return 0
+}
+
+// Reset zeroes every registered metric (counters and gauges to 0, histogram
+// observations and family children dropped). Registrations survive; only
+// values reset. Back-to-back measurement runs use it the way
+// stats.ResetAllCacheCounters is used for cache counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.entries {
+		switch {
+		case m.c != nil:
+			m.c.v.Store(0)
+		case m.g != nil:
+			m.g.v.Store(0)
+		case m.h != nil:
+			m.h.Reset()
+		case m.vec != nil:
+			m.vec.reset()
+		}
+	}
+}
+
+// Sample is one metric's value at a point in time, in the flattened form
+// manifests and JSON snapshots carry. For histograms Value holds the
+// observation count and the quantile fields are populated.
+type Sample struct {
+	Name   string `json:"name"`
+	Label  string `json:"label,omitempty"`
+	Domain string `json:"domain"`
+	Kind   string `json:"kind"`
+	Value  int64  `json:"value"`
+	Sum    int64  `json:"sum,omitempty"`
+	Min    int64  `json:"min,omitempty"`
+	Max    int64  `json:"max,omitempty"`
+	P50    int64  `json:"p50,omitempty"`
+	P99    int64  `json:"p99,omitempty"`
+}
+
+// Snapshot returns every registered metric in the given domains (no
+// domains = all), sorted by name then label — a deterministic order
+// regardless of registration or observation order.
+func (r *Registry) Snapshot(domains ...Domain) []Sample {
+	want := func(d Domain) bool {
+		if len(domains) == 0 {
+			return true
+		}
+		for _, w := range domains {
+			if w == d {
+				return true
+			}
+		}
+		return false
+	}
+	r.mu.Lock()
+	entries := make([]*metric, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	var out []Sample
+	for _, m := range entries {
+		if !want(m.domain) {
+			continue
+		}
+		base := Sample{Name: m.name, Domain: m.domain.String(), Kind: m.kind()}
+		switch {
+		case m.c != nil:
+			base.Value = m.c.Value()
+			out = append(out, base)
+		case m.g != nil:
+			base.Value = m.g.Value()
+			out = append(out, base)
+		case m.h != nil:
+			h := m.h.Snapshot()
+			base.Value = h.Count()
+			if h.Count() > 0 {
+				base.Sum = h.Sum()
+				base.Min, base.Max = h.Min(), h.Max()
+				base.P50, base.P99 = h.Quantile(0.5), h.Quantile(0.99)
+			}
+			out = append(out, base)
+		case m.vec != nil:
+			for _, l := range m.vec.labels() {
+				s := base
+				s.Label = l
+				s.Value = m.vec.Value(l)
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// help returns the registered help string (exposition).
+func (r *Registry) help(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byName[name]; m != nil {
+		return m.help
+	}
+	return ""
+}
+
+// labelKey returns a family's label key ("" for scalars).
+func (r *Registry) labelKey(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byName[name]; m != nil && m.vec != nil {
+		return m.vec.labelKey
+	}
+	return ""
+}
+
+// Package-level constructors and accessors over the default registry.
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name, help string, d Domain) *Counter {
+	return defaultRegistry.NewCounter(name, help, d)
+}
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string, d Domain) *Gauge {
+	return defaultRegistry.NewGauge(name, help, d)
+}
+
+// NewHistogram registers a histogram in the default registry.
+func NewHistogram(name, help string, d Domain) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, d)
+}
+
+// NewCounterVec registers a counter family in the default registry.
+func NewCounterVec(name, labelKey, help string, d Domain) *CounterVec {
+	return defaultRegistry.NewCounterVec(name, labelKey, help, d)
+}
+
+// Value reads a metric from the default registry (see Registry.Value).
+func Value(name string, label ...string) int64 {
+	return defaultRegistry.Value(name, label...)
+}
+
+// Reset zeroes every metric in the default registry.
+func Reset() { defaultRegistry.Reset() }
+
+// timing gates instrumentation that must read the host clock (runner task
+// latency). Off by default so a run that asked for no metrics output pays
+// zero clock reads; CLIs turn it on when exposition is requested.
+var timing atomic.Bool
+
+// SetTiming enables or disables wall-clock timing collection process-wide,
+// returning the previous setting.
+func SetTiming(on bool) bool { return timing.Swap(on) }
+
+// TimingEnabled reports whether wall-clock timing collection is on.
+func TimingEnabled() bool { return timing.Load() }

@@ -1,0 +1,160 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"igosim/internal/metrics"
+)
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewCounter("dup_total", "first", metrics.Cycle)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "second", metrics.Wall)
+}
+
+func TestRegistryValueAndReset(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("c_total", "", metrics.Cycle)
+	g := r.NewGauge("g", "", metrics.Wall)
+	h := r.NewHistogram("h_us", "", metrics.Wall)
+	v := r.NewCounterVec("v_total", "status", "", metrics.Cycle)
+
+	c.Inc()
+	c.Add(2)
+	g.Set(10)
+	g.Add(-3)
+	h.Observe(5)
+	h.Observe(50)
+	v.With("ok").Inc()
+	v.With("fail").Add(4)
+
+	if got := r.Value("c_total"); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if got := r.Value("g"); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	if got := r.Value("h_us"); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+	if got := r.Value("v_total", "fail"); got != 4 {
+		t.Fatalf("vec child = %d, want 4", got)
+	}
+	if got := r.Value("v_total", "absent"); got != 0 {
+		t.Fatalf("absent child = %d, want 0", got)
+	}
+	if got := r.Value("no_such_metric"); got != 0 {
+		t.Fatalf("unknown metric = %d, want 0", got)
+	}
+
+	r.Reset()
+	for _, name := range []string{"c_total", "g", "h_us"} {
+		if got := r.Value(name); got != 0 {
+			t.Fatalf("%s after Reset = %d, want 0", name, got)
+		}
+	}
+	if got := r.Value("v_total", "ok"); got != 0 {
+		t.Fatalf("vec child after Reset = %d, want 0", got)
+	}
+	// Registrations survive a reset.
+	c.Inc()
+	if got := r.Value("c_total"); got != 1 {
+		t.Fatalf("counter after Reset+Inc = %d, want 1", got)
+	}
+}
+
+func TestSnapshotSortedAndDomainFiltered(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewCounter("zz_total", "", metrics.Wall).Inc()
+	r.NewCounter("aa_total", "", metrics.Cycle).Add(2)
+	v := r.NewCounterVec("mm_total", "dir", "", metrics.Cycle)
+	v.With("write").Inc()
+	v.With("read").Add(3)
+
+	all := r.Snapshot()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name + "/" + s.Label
+	}
+	want := []string{"aa_total/", "mm_total/read", "mm_total/write", "zz_total/"}
+	if len(names) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", names, want)
+		}
+	}
+
+	cyc := r.Snapshot(metrics.Cycle)
+	for _, s := range cyc {
+		if s.Domain != "cycle" {
+			t.Fatalf("cycle snapshot contains %s (domain %s)", s.Name, s.Domain)
+		}
+	}
+	if len(cyc) != 3 {
+		t.Fatalf("cycle snapshot has %d samples, want 3", len(cyc))
+	}
+}
+
+func TestSnapshotHistogramFields(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.NewHistogram("lat_us", "", metrics.Wall)
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	s := snap[0]
+	if s.Kind != "histogram" || s.Value != 4 || s.Sum != 106 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("histogram sample = %+v", s)
+	}
+	if s.P50 == 0 || s.P99 == 0 {
+		t.Fatalf("quantiles not populated: %+v", s)
+	}
+}
+
+func TestSetTiming(t *testing.T) {
+	prev := metrics.SetTiming(true)
+	defer metrics.SetTiming(prev)
+	if !metrics.TimingEnabled() {
+		t.Fatal("timing not enabled")
+	}
+	if was := metrics.SetTiming(false); !was {
+		t.Fatal("SetTiming did not report the previous setting")
+	}
+	if metrics.TimingEnabled() {
+		t.Fatal("timing not disabled")
+	}
+}
+
+// TestCounterZeroAllocs pins the acceptance criterion that registry
+// counters add no allocations to hot paths: Inc/Add on a registered
+// counter and on a pre-resolved CounterVec child are single atomic adds.
+func TestCounterZeroAllocs(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("hot_total", "", metrics.Wall)
+	child := r.NewCounterVec("hot_vec_total", "dir", "", metrics.Wall).With("read")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Inc/Add allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { child.Add(64) }); n != 0 {
+		t.Fatalf("CounterVec child Add allocates %.1f per run, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("bench_total", "", metrics.Wall)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

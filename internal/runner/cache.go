@@ -37,6 +37,10 @@ func NewCache[K comparable, V any](name string) *Cache[K, V] {
 	for i := range c.shards {
 		c.shards[i].m = make(map[K]V)
 	}
+	// The entry count is the deterministic half of the cache's statistics
+	// (distinct keys ever requested); manifests derive their
+	// parallelism-independent hit rate from it.
+	c.counters.SetSizer(c.Len)
 	return c
 }
 

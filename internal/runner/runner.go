@@ -24,7 +24,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"igosim/internal/metrics"
 	"igosim/internal/trace"
+)
+
+// Pool metrics (wall domain: they describe host execution, not simulated
+// cycles). The task counter is a single atomic add per task; the latency
+// histogram additionally needs two clock reads, so it is collected only
+// when tracing or metrics timing is on — the disabled path reads no clock.
+var (
+	mTasks = metrics.NewCounter("runner_tasks_total",
+		"tasks executed by the worker pool", metrics.Wall)
+	mPoolWidth = metrics.NewGauge("runner_pool_width",
+		"worker-pool width as of the last SetParallelism", metrics.Wall)
+	mTaskMicros = metrics.NewHistogram("runner_task_us",
+		"per-task wall latency in microseconds (collected while tracing or metrics timing is enabled)", metrics.Wall)
 )
 
 // parallelism holds the worker-pool width; 0 means "use GOMAXPROCS".
@@ -48,6 +62,7 @@ func SetParallelism(n int) int {
 		n = 0
 	}
 	parallelism.Store(int64(n))
+	mPoolWidth.Set(int64(Parallelism()))
 	return prev
 }
 
@@ -85,14 +100,21 @@ func Map[T, R any](items []T, fn func(T) R) []R {
 }
 
 // runTask applies fn to one item, emitting a wall-clock task span on the
-// sink. With tracing off (nil sink) it is a plain call: no time reads.
+// sink and a latency observation into the metrics registry. With tracing
+// off and metrics timing off it is a plain call plus one atomic counter
+// add: no time reads.
 func runTask[T, R any](sink *trace.Sink, worker, index int, item T, fn func(T) R) R {
-	if sink == nil {
+	mTasks.Inc()
+	if sink == nil && !metrics.TimingEnabled() {
 		return fn(item)
 	}
 	begin := time.Now() //lint:wallclock runner task spans measure host execution, not simulated cycles
 	r := fn(item)
-	sink.Task(worker, index, begin, time.Now()) //lint:wallclock span end timestamp, same wall-clock domain as begin
+	end := time.Now() //lint:wallclock span end timestamp, same wall-clock domain as begin
+	if sink != nil {
+		sink.Task(worker, index, begin, end)
+	}
+	mTaskMicros.Observe(end.Sub(begin).Microseconds())
 	return r
 }
 
@@ -162,12 +184,17 @@ func MapErr[T, R any](ctx context.Context, items []T, fn func(context.Context, T
 // runTaskErr is runTask for the error-propagating fan-out. Failed tasks
 // still get a span: the trace shows where wall-clock time went either way.
 func runTaskErr[T, R any](sink *trace.Sink, worker, index int, ctx context.Context, item T, fn func(context.Context, T) (R, error)) (R, error) {
-	if sink == nil {
+	mTasks.Inc()
+	if sink == nil && !metrics.TimingEnabled() {
 		return fn(ctx, item)
 	}
 	begin := time.Now() //lint:wallclock runner task spans measure host execution, not simulated cycles
 	r, err := fn(ctx, item)
-	sink.Task(worker, index, begin, time.Now()) //lint:wallclock span end timestamp, same wall-clock domain as begin
+	end := time.Now() //lint:wallclock span end timestamp, same wall-clock domain as begin
+	if sink != nil {
+		sink.Task(worker, index, begin, end)
+	}
+	mTaskMicros.Observe(end.Sub(begin).Microseconds())
 	return r, err
 }
 

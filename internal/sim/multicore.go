@@ -84,7 +84,9 @@ func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shar
 		cores = max(cores, len(streams))
 	}
 	if opts.useCompiled() {
-		return runMultiPhasedCompiled(cfg, opts, phases, shared)
+		res := runMultiPhasedCompiled(cfg, opts, phases, shared)
+		countMulti(res)
+		return res
 	}
 	arr := systolic.New(cfg)
 	chn := dram.Channel{
@@ -216,6 +218,7 @@ func RunMultiPhased(cfg config.NPU, opts Options, phases [][][]schedule.Op, shar
 	if len(out.PerCore) > 0 {
 		out.PerCore[0].SPM = bufFor(0).Stats
 	}
+	countMulti(out)
 	return out
 }
 

@@ -341,7 +341,9 @@ func (e *Engine) RunStream(s schedule.OpStream) {
 // bit-identical.
 func RunSchedules(cfg config.NPU, opts Options, scheds ...schedule.Schedule) Result {
 	if opts.useCompiled() {
-		return runSchedulesCompiled(cfg, opts, scheds)
+		res := runSchedulesCompiled(cfg, opts, scheds)
+		countPass(res)
+		return res
 	}
 	e := NewEngine(cfg, opts)
 	for i, s := range scheds {
@@ -350,7 +352,9 @@ func RunSchedules(cfg config.NPU, opts Options, scheds ...schedule.Schedule) Res
 		}
 		e.RunSchedule(s)
 	}
-	return e.Result()
+	res := e.Result()
+	countPass(res)
+	return res
 }
 
 // RunStreams is RunSchedules for pull-based generators: each kernel's ops
@@ -358,7 +362,9 @@ func RunSchedules(cfg config.NPU, opts Options, scheds ...schedule.Schedule) Res
 // and the interpreted path executes ops as they are yielded.
 func RunStreams(cfg config.NPU, opts Options, kernels ...schedule.StreamKernel) Result {
 	if opts.useCompiled() {
-		return runStreamsCompiled(cfg, opts, kernels)
+		res := runStreamsCompiled(cfg, opts, kernels)
+		countPass(res)
+		return res
 	}
 	e := NewEngine(cfg, opts)
 	for i, k := range kernels {
@@ -369,7 +375,9 @@ func RunStreams(cfg config.NPU, opts Options, kernels ...schedule.StreamKernel) 
 		e.RunStream(k.Ops)
 		e.tr.Phase(k.Name, start, e.compDone)
 	}
-	return e.Result()
+	res := e.Result()
+	countPass(res)
+	return res
 }
 
 // ReduceResult describes the cost of a cross-partition reduction phase.

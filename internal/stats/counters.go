@@ -15,6 +15,23 @@ type CacheCounters struct {
 	name   string
 	hits   atomic.Int64
 	misses atomic.Int64
+	// sizer, when set, reports the cache's current entry count. Guarded by
+	// sizerMu: SetSizer races with Snapshot only at registration time, but
+	// the race detector is right that it is a race.
+	sizerMu sync.Mutex
+	sizer   func() int
+}
+
+// SetSizer installs a callback reporting the cache's current entry count,
+// surfaced as Entries in snapshots. Raw hit/miss splits are not
+// deterministic under concurrent miss races (two workers may both miss and
+// compute the same key), but the entry count — the set of distinct keys ever
+// requested — is, which is what lets run manifests derive a
+// parallelism-independent hit rate: (lookups − entries) / lookups.
+func (c *CacheCounters) SetSizer(fn func() int) {
+	c.sizerMu.Lock()
+	c.sizer = fn
+	c.sizerMu.Unlock()
 }
 
 // Hit records one cache hit.
@@ -31,14 +48,23 @@ func (c *CacheCounters) Reset() {
 
 // Snapshot returns the current counter values.
 func (c *CacheCounters) Snapshot() CacheSnapshot {
-	return CacheSnapshot{Name: c.name, Hits: c.hits.Load(), Misses: c.misses.Load()}
+	s := CacheSnapshot{Name: c.name, Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: -1}
+	c.sizerMu.Lock()
+	sizer := c.sizer
+	c.sizerMu.Unlock()
+	if sizer != nil {
+		s.Entries = int64(sizer())
+	}
+	return s
 }
 
-// CacheSnapshot is one cache's counters at a point in time.
+// CacheSnapshot is one cache's counters at a point in time. Entries is the
+// current entry count, or -1 when the cache installed no sizer.
 type CacheSnapshot struct {
-	Name   string
-	Hits   int64
-	Misses int64
+	Name    string
+	Hits    int64
+	Misses  int64
+	Entries int64
 }
 
 // Lookups returns the total number of lookups.

@@ -27,6 +27,29 @@ func TestCacheCountersBasics(t *testing.T) {
 	}
 }
 
+func TestCacheCountersSizer(t *testing.T) {
+	c := NewCacheCounters("test-sizer")
+	if e := c.Snapshot().Entries; e != -1 {
+		t.Fatalf("Entries without sizer = %d, want -1", e)
+	}
+	n := 0
+	c.SetSizer(func() int { return n })
+	if e := c.Snapshot().Entries; e != 0 {
+		t.Fatalf("Entries = %d, want 0", e)
+	}
+	n = 7
+	if e := c.Snapshot().Entries; e != 7 {
+		t.Fatalf("Entries = %d, want 7", e)
+	}
+	// Reset zeroes hit/miss but leaves the sizer installed: the entry count
+	// is the cache's, not the counters'.
+	c.Hit()
+	c.Reset()
+	if s := c.Snapshot(); s.Lookups() != 0 || s.Entries != 7 {
+		t.Fatalf("reset snapshot = %+v", s)
+	}
+}
+
 func TestCacheSnapshotString(t *testing.T) {
 	s := CacheSnapshot{Name: "layer-sim", Hits: 3, Misses: 1}
 	out := s.String()

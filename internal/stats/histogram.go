@@ -15,6 +15,12 @@ const histBuckets = 64
 // (i >= 1) holds values in [2^(i-1), 2^i - 1]; bucket 0 holds values <= 0.
 // The zero value is an empty histogram ready for use; it is a plain value
 // type, so merging track-local histograms needs no locking.
+//
+// Empty-histogram semantics are defined, not accidental: Count, Sum, Min,
+// Max, Mean and Quantile all return 0 when no observation has been recorded
+// (including immediately after Reset). Min()/Max() == 0 is therefore
+// ambiguous between "empty" and "observed only zeros"; check Count first
+// when the distinction matters.
 type Histogram struct {
 	counts   [histBuckets]int64
 	n        int64
@@ -57,8 +63,15 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.sum += o.sum
 }
 
+// Reset returns the histogram to the empty state, as if freshly declared:
+// Count, Sum, Min, Max, Mean and Quantile all report 0 again afterwards.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the exact sum of the observations (0 when empty).
+func (h *Histogram) Sum() int64 { return h.sum }
 
 // Mean returns the arithmetic mean of the observations (0 when empty).
 func (h *Histogram) Mean() float64 {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -54,6 +55,78 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 	if q := h.Quantile(0); q != 1 {
 		t.Fatalf("p0 = %d, want 1", q)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-3, 0, 7, 1 << 40} {
+		h.Add(v)
+	}
+	if h.Count() == 0 {
+		t.Fatal("setup: histogram empty")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("Reset left state behind: %s", h.String())
+	}
+	if h.String() != "empty" {
+		t.Fatalf("String after Reset = %q, want \"empty\"", h.String())
+	}
+	// The reset histogram must behave exactly like a fresh one.
+	h.Add(42)
+	if h.Count() != 1 || h.Min() != 42 || h.Max() != 42 || h.Sum() != 42 {
+		t.Fatalf("reused histogram wrong: %s", h.String())
+	}
+}
+
+// TestHistogramBucketBoundaries pins the power-of-two bucket edges: 2^k-1
+// and 2^k must land in adjacent buckets for every k, and non-positive
+// values share bucket 0.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for k := 1; k < 62; k++ {
+		var h Histogram
+		lo := int64(1)<<k - 1 // top of bucket k
+		hi := int64(1) << k   // bottom of bucket k+1
+		h.Add(lo)
+		h.Add(hi)
+		s := h.String()
+		for _, want := range []string{
+			"<=" + itoa(lo) + ":1",
+			"<=" + itoa(int64(1)<<(k+1)-1) + ":1",
+		} {
+			if !strings.Contains(s, want) {
+				t.Fatalf("k=%d: String() = %q, missing %q", k, s, want)
+			}
+		}
+	}
+	var h Histogram
+	h.Add(0)
+	h.Add(-5)
+	if !strings.Contains(h.String(), "<=0:2") {
+		t.Fatalf("non-positive values not in bucket 0: %s", h.String())
+	}
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+// TestHistogramQuantileEdges pins the documented edge semantics: quantiles
+// clamp q into [0,1], empty histograms return 0 everywhere, and a
+// single-observation histogram reports that observation at every quantile.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	var one Histogram
+	one.Add(100)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := one.Quantile(q); got != 100 {
+			t.Fatalf("single-value Quantile(%g) = %d, want 100", q, got)
+		}
 	}
 }
 

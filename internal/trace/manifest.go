@@ -1,0 +1,19 @@
+package trace
+
+import "igosim/internal/metrics"
+
+// ManifestSummary flattens the cycle-domain stall attribution into the run
+// manifest's trace digest. Note the caveat on metrics.TraceSummary: under
+// memoization the set of simulations that execute (and hence get traced)
+// depends on cache state, so traced manifests are not byte-stable across -j.
+func (m Metrics) ManifestSummary() metrics.TraceSummary {
+	return metrics.TraceSummary{
+		Cycles:      m.Cycles,
+		ComputeBusy: m.ComputeBusy,
+		StallDMA:    m.StallDMA,
+		StallSpill:  m.StallSpill,
+		Spills:      m.Spills,
+		OccHWMBytes: m.OccHWM,
+		OccCapBytes: m.OccCap,
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"igosim/internal/config"
 	"igosim/internal/core"
+	"igosim/internal/metrics"
 	"igosim/internal/refmodel"
 	"igosim/internal/runner"
 	"igosim/internal/schedule"
@@ -72,20 +73,23 @@ type modelReport struct {
 }
 
 // Run executes the validation pass and returns the first failure in zoo
-// order, or nil with the summary written to opts.Out.
-func Run(opts Options) error {
+// order, or an aggregate summary (for the run manifest) with the report
+// written to opts.Out. Every summary field is a pure function of the zoo
+// and the options — identical at every -j.
+func Run(opts Options) (metrics.ValidateSummary, error) {
+	var sum metrics.ValidateSummary
 	out := opts.Out
 	if out == nil {
 		out = io.Discard
 	}
 	models, err := workload.AllModels(opts.Suite)
 	if err != nil {
-		return err
+		return sum, err
 	}
 	if opts.Model != "" {
 		m, err := workload.FindModel(opts.Suite, opts.Model)
 		if err != nil {
-			return err
+			return sum, err
 		}
 		models = []workload.Model{m}
 	}
@@ -98,10 +102,9 @@ func Run(opts Options) error {
 		return validateModel(cfg, opts, m)
 	})
 	if err != nil {
-		return err
+		return sum, err
 	}
 
-	var layers, checks, refChecks int
 	for i, m := range models {
 		rep := reports[i]
 		if len(rep.lines) > 0 {
@@ -109,15 +112,19 @@ func Run(opts Options) error {
 		}
 		fmt.Fprintf(out, "%-10s validated   residency: %d hits, %d misses, %d evictions, %d spills\n",
 			m.Abbr, rep.spmStats.Hits, rep.spmStats.Misses, rep.spmStats.Evictions, rep.spills)
-		layers += rep.layers
-		checks += rep.checks
-		refChecks += rep.refChecks
+		sum.Layers += rep.layers
+		sum.Checks += rep.checks
+		sum.RefChecks += rep.refChecks
+		sum.SPMHits += rep.spmStats.Hits
+		sum.SPMMisses += rep.spmStats.Misses
+		sum.Evictions += rep.spmStats.Evictions
+		sum.Spills += rep.spills
 	}
-	fmt.Fprintf(out, "\nOK: %d layers, %d schedule executions, gradients bit-match the reference\n", layers, checks)
+	fmt.Fprintf(out, "\nOK: %d layers, %d schedule executions, gradients bit-match the reference\n", sum.Layers, sum.Checks)
 	if opts.RefCheck {
-		fmt.Fprintf(out, "OK: %d simulations bit-match the refmodel oracle\n", refChecks)
+		fmt.Fprintf(out, "OK: %d simulations bit-match the refmodel oracle\n", sum.RefChecks)
 	}
-	return nil
+	return sum, nil
 }
 
 func validateModel(cfg config.NPU, opts Options, m workload.Model) (modelReport, error) {

@@ -18,11 +18,15 @@ func TestRunRefCheckPasses(t *testing.T) {
 	var out strings.Builder
 	opts := smallOpts()
 	opts.Out = &out
-	if err := Run(opts); err != nil {
+	sum, err := Run(opts)
+	if err != nil {
 		t.Fatalf("refcheck pass failed: %v", err)
 	}
 	if !strings.Contains(out.String(), "bit-match the refmodel oracle") {
 		t.Fatalf("summary does not report the oracle check:\n%s", out.String())
+	}
+	if sum.Layers == 0 || sum.Checks == 0 || sum.RefChecks == 0 {
+		t.Fatalf("summary counters empty: %+v", sum)
 	}
 }
 
@@ -52,7 +56,7 @@ func TestRunDetectsCorruptedMetric(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			opts := smallOpts()
 			opts.Corrupt = tc.corrupt
-			err := Run(opts)
+			_, err := Run(opts)
 			if err == nil {
 				t.Fatalf("corrupting %s went undetected", tc.name)
 			}
@@ -73,8 +77,12 @@ func TestRunWithoutRefCheckStillValidates(t *testing.T) {
 	opts := smallOpts()
 	opts.RefCheck = false
 	opts.Out = &out
-	if err := Run(opts); err != nil {
+	sum, err := Run(opts)
+	if err != nil {
 		t.Fatalf("plain pass failed: %v", err)
+	}
+	if sum.RefChecks != 0 {
+		t.Fatalf("ref checks counted without -refcheck: %+v", sum)
 	}
 	s := out.String()
 	if !strings.Contains(s, "gradients bit-match the reference") {
@@ -88,7 +96,7 @@ func TestRunWithoutRefCheckStillValidates(t *testing.T) {
 func TestRunUnknownModelFails(t *testing.T) {
 	opts := smallOpts()
 	opts.Model = "no-such-model"
-	if err := Run(opts); err == nil {
+	if _, err := Run(opts); err == nil {
 		t.Fatal("unknown model accepted")
 	}
 }
