@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json vet lint ci golden trace-check fuzz-short cover sweep-check perf-check manifest-check
+.PHONY: build test race bench bench-json vet lint lint-sarif lint-check ci golden trace-check fuzz-short cover sweep-check perf-check manifest-check
 
 build:
 	$(GO) build ./...
@@ -39,13 +39,28 @@ bench-json:
 trace-check:
 	$(GO) test ./internal/trace/ -run 'TestDisabledPathZeroAllocs|TestTracingDoesNotChangeResults|TestGoldenTraceJSON' -count=1
 
-# Project-specific static analysis (see DESIGN.md §3e): determinism and
-# zero-overhead invariants checked at compile time by cmd/igolint. Part of
-# `make ci` but deliberately not of tier-1 (`go build && go test`) so a new
-# analyzer can land stricter than the tree without breaking the build; the
-# analyzers' own unit tests still run under plain `go test ./...`.
+# Project-specific static analysis (see DESIGN.md §3e, §3j): determinism
+# and zero-overhead invariants checked at compile time by cmd/igolint,
+# including the interprocedural detflow proof that no cycle-domain entry
+# point reaches wall-clock or ambient randomness. Part of `make ci` but
+# deliberately not of tier-1 (`go build && go test`) so a new analyzer can
+# land stricter than the tree without breaking the build; the analyzers'
+# own unit tests still run under plain `go test ./...`. The run is held to
+# a wall-time budget (exit 3 past it) and records its timing in the run
+# manifest's wall domain.
+LINT_BUDGET ?= 60s
 lint:
-	$(GO) run ./cmd/igolint ./...
+	$(GO) run ./cmd/igolint -budget $(LINT_BUDGET) -manifest results/lint_manifest.json ./...
+
+# Findings as a SARIF 2.1.0 artifact for code-scanning UIs.
+lint-sarif:
+	$(GO) run ./cmd/igolint -sarif results/lint.sarif ./...
+
+# Lint-gate-has-teeth check (DESIGN.md §3j): igolint lints internal/lint
+# itself, a pristine tree copy lints clean, and an injected two-hop
+# time.Now leak must fail with the full interprocedural call chain.
+lint-check:
+	sh scripts/lint_check.sh
 
 # Native fuzzing against the property-suite generators (DESIGN.md §3f).
 # The seed corpus lives in internal/proptest/testdata/fuzz/; 30 seconds per
@@ -88,7 +103,7 @@ cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-ci: vet build race bench perf-check bench-json trace-check lint manifest-check sweep-check cover fuzz-short
+ci: vet build race bench perf-check bench-json trace-check lint lint-check manifest-check sweep-check cover fuzz-short
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

@@ -101,6 +101,8 @@ func main() {
 // writeSweep runs the canonical pruned design-space sweep once and records
 // its throughput and pruned fraction — the numbers BenchmarkSweepPruned
 // reports, tracked across PRs as BENCH_sweep.json.
+//
+//lint:walldomain benchmark wall time is the measurement itself
 func writeSweep(path string) error {
 	start := time.Now()
 	res, err := bench.RunSweep(0)

@@ -25,6 +25,10 @@ import (
 	"igosim/internal/trace"
 )
 
+// main times each experiment for the stderr progress report; figure and
+// table bytes are derived from simulation results alone.
+//
+//lint:walldomain per-experiment wall timings go to stderr only
 func main() {
 	var (
 		fig        = flag.String("fig", "all", "experiment id or 'all': "+strings.Join(experiments.IDs(), " "))

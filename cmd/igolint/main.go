@@ -1,17 +1,27 @@
 // Command igolint runs the repo's custom static-analysis suite (see
-// internal/lint and DESIGN.md §3e) over the module. It is the compile-time
-// complement to `make golden`: the analyzers prove determinism and
-// zero-overhead invariants on every path, not just the exercised ones.
+// internal/lint and DESIGN.md §3e, §3j) over the module. It is the
+// compile-time complement to `make golden`: the analyzers prove
+// determinism and zero-overhead invariants on every path, not just the
+// exercised ones.
 //
 // Usage:
 //
-//	igolint [-list] [pattern ...]
+//	igolint [-list] [-sarif file] [-budget d] [-manifest file] [pattern ...]
 //
 // Patterns are package directories relative to the module root, or the
 // literal "./..." (the default) for the whole module. Test files are not
-// analyzed: the invariants govern shipping code. Diagnostics print as
-// file:line:col: message (analyzer); the exit status is 1 when any
-// diagnostic survives marker suppression, 2 on load or usage errors.
+// analyzed: the invariants govern shipping code.
+//
+// Packages load serially through the memoizing loader (each package
+// type-checks exactly once, shared across all analyzers and dependents),
+// then analyze in parallel; findings print position-sorted, so output is
+// identical at any parallelism. Diagnostics print as file:line:col:
+// message (analyzer). -sarif additionally writes the findings as a SARIF
+// 2.1.0 artifact. -budget fails the run when wall time exceeds the given
+// duration; -manifest records the timing in a run manifest's wall domain.
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors, 3 budget
+// exceeded.
 package main
 
 import (
@@ -19,16 +29,33 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"igosim/internal/lint"
 	"igosim/internal/lint/analysis"
 	"igosim/internal/lint/loader"
+	"igosim/internal/metrics"
 )
 
+var (
+	lintWallMS   = metrics.NewGauge("lint_wall_ms", "igolint wall time in milliseconds", metrics.Wall)
+	lintPackages = metrics.NewGauge("lint_packages", "packages analyzed by igolint", metrics.Cycle)
+	lintFindings = metrics.NewGauge("lint_findings", "findings surviving suppression", metrics.Cycle)
+)
+
+// main times the run against -budget and records it in the manifest's wall
+// domain; findings, ordering and exit status are time-independent.
+//
+//lint:walldomain wall-time budget accounting only
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	sarifPath := flag.String("sarif", "", "write findings as a SARIF 2.1.0 log to this file")
+	budget := flag.Duration("budget", 0, "fail with exit 3 when the run exceeds this wall time")
+	manifestPath := flag.String("manifest", "", "write a run manifest (timing in wall_metrics) to this file")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -39,6 +66,7 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	root, err := loader.ModuleRoot(".")
 	if err != nil {
 		fatal(err)
@@ -48,8 +76,11 @@ func main() {
 		fatal(err)
 	}
 
+	// Serial load: the loader memoizes, so every package (named or
+	// dependency) type-checks exactly once, then the snapshot is the
+	// whole-program view the interprocedural analyzers share.
 	l := loader.New(loader.Root{Prefix: "igosim", Dir: root})
-	var findings []analysis.Finding
+	pkgs := make([]*loader.Package, 0, len(paths))
 	failed := false
 	for _, path := range paths {
 		pkg, err := l.Load(path)
@@ -58,17 +89,54 @@ func main() {
 			failed = true
 			continue
 		}
-		fs, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "igolint: %s: %v\n", path, err)
+		pkgs = append(pkgs, pkg)
+	}
+	prog := l.Program()
+
+	// Parallel analysis: packages are independent given the program view;
+	// results land at their index, so output order never depends on
+	// scheduling.
+	perPkg := make([][]analysis.Finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			perPkg[i], errs[i] = analysis.Run(pkg, prog, analyzers)
+		}()
+	}
+	wg.Wait()
+
+	var findings []analysis.Finding
+	for i := range pkgs {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "igolint: %s: %v\n", pkgs[i].Path, errs[i])
 			failed = true
 			continue
 		}
-		findings = append(findings, fs...)
+		findings = append(findings, perPkg[i]...)
 	}
 	if failed {
 		os.Exit(2)
 	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
 	for _, f := range findings {
 		name := f.Pos.Filename
 		if rel, err := filepath.Rel(root, name); err == nil {
@@ -76,9 +144,67 @@ func main() {
 		}
 		fmt.Printf("%s:%d:%d: %s (%s)\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
 	}
-	if len(findings) > 0 {
-		os.Exit(1)
+
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, analyzers, findings, root); err != nil {
+			fatal(err)
+		}
 	}
+
+	elapsed := time.Since(start)
+	lintWallMS.Set(elapsed.Milliseconds())
+	lintPackages.Set(int64(len(pkgs)))
+	lintFindings.Set(int64(len(findings)))
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, paths, *budget); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case len(findings) > 0:
+		os.Exit(1)
+	case *budget > 0 && elapsed > *budget:
+		fmt.Fprintf(os.Stderr, "igolint: wall time %s exceeds budget %s\n",
+			elapsed.Round(time.Millisecond), *budget)
+		os.Exit(3)
+	}
+}
+
+func writeSARIF(path string, analyzers []*analysis.Analyzer, findings []analysis.Finding, root string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lint.WriteSARIF(f, analyzers, findings, root); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeManifest(path string, paths []string, budget time.Duration) error {
+	m := metrics.NewManifest("igolint")
+	if err := m.SetFingerprint(struct {
+		Tool   string   `json:"tool"`
+		Budget string   `json:"budget"`
+		Paths  []string `json:"paths"`
+	}{Tool: "igolint", Budget: budget.String(), Paths: paths}); err != nil {
+		return err
+	}
+	m.Finalize(metrics.Default())
+	m.FinalizeWall(metrics.Default())
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return m.WriteFile(path)
 }
 
 // packagePaths expands the command-line patterns into module import paths.

@@ -40,6 +40,10 @@ import (
 	"igosim/internal/workload"
 )
 
+// main's clock reads feed the progress line and the points/s summary on
+// stderr; sweep results and manifests never see them.
+//
+//lint:walldomain progress throughput and the summary line are host-time by nature
 func main() {
 	var (
 		modelName = flag.String("model", "res", "model abbreviation (Table 4 or variant: bert-base, T5-base, yolo-s, res18)")
@@ -125,7 +129,7 @@ func main() {
 		CheckpointDir: *ckptDir, Resume: *resume, MaxShards: *maxShards,
 	}
 	total := space.Size()
-	start := time.Now() //lint:wallclock sweep wall-clock for the points/s summary line
+	start := time.Now()
 	if total >= 10_000 {
 		// Live progress is sourced from the metrics registry: the prune
 		// counter is Cycle-domain (deterministic), while throughput and the
@@ -133,7 +137,7 @@ func main() {
 		prunedAt := metrics.Value("dse_points_total", "pruned")
 		opts.Progress = func(done, total int) {
 			pruned := metrics.Value("dse_points_total", "pruned") - prunedAt
-			elapsed := time.Since(start) //lint:wallclock progress throughput and ETA are host-time by nature
+			elapsed := time.Since(start)
 			rate := float64(done) / elapsed.Seconds()
 			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
 			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%.1f%%) | pruned %.1f%% | %.0f points/s | ETA %s",
@@ -149,7 +153,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	wall := time.Since(start) //lint:wallclock sweep wall-clock for the points/s summary line
+	wall := time.Since(start)
 
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, space, res.Rows); err != nil {

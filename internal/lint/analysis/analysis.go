@@ -9,9 +9,16 @@
 //
 // A diagnostic is suppressed when the flagged line — or the line directly
 // above it — carries a `//lint:<analyzer>` marker comment (for example
-// `//lint:wallclock runner task spans are wall-clock by design`). Analyzers
-// that guard hard invariants can set Diagnostic.Unsuppressable to make a
+// `//lint:detmap fixture demonstrating the escape hatch`). Analyzers that
+// guard hard invariants can set Diagnostic.Unsuppressable to make a
 // finding immune to markers.
+//
+// Suppression markers are themselves checked: a `//lint:<analyzer>` comment
+// naming an analyzer in the run that suppresses no diagnostic is reported
+// as stale (analyzer name "stalemarker"), so certifications and escape
+// hatches cannot outlive the code they were written for. Annotation markers
+// (`//lint:hotpath`, `//lint:sink`, `//lint:guardedcall`, `//lint:walldomain`,
+// `//lint:registered`) use names outside the analyzer roster and are exempt.
 package analysis
 
 import (
@@ -21,7 +28,35 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"igosim/internal/lint/loader"
 )
+
+// ModulePath is the import-path prefix of the module under analysis.
+// Package scoping rules (wallclock's forbidden list, detflow's cycle
+// domain) anchor to it so that a package in some other tree whose path
+// merely ends in the same suffix can never match.
+const ModulePath = "igosim"
+
+// InModule reports whether path names the module package with the given
+// module-relative path (e.g. entry "internal/sim" matches exactly
+// "igosim/internal/sim", and — for fixture trees that mimic the module
+// layout without the prefix — "internal/sim" itself). Unlike a suffix
+// match, "othermod/internal/sim" and "igosim/internal/xsim" never match.
+func InModule(path, entry string) bool {
+	return path == entry || path == ModulePath+"/"+entry
+}
+
+// InModuleAny reports whether path matches any of the module-relative
+// entries under the InModule rule.
+func InModuleAny(path string, entries []string) bool {
+	for _, e := range entries {
+		if InModule(path, e) {
+			return true
+		}
+	}
+	return false
+}
 
 // Analyzer describes one static check.
 type Analyzer struct {
@@ -36,13 +71,20 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Pass carries one package's syntax and type information to an Analyzer.
+// Pass carries one package's syntax and type information to an Analyzer,
+// plus the whole-program view for interprocedural checks.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Prog is the loader's whole-program snapshot: every in-root package,
+	// fully type-checked. Interprocedural analyzers (detflow, and the
+	// transitive halves of detmap/cycleint/ctrreg) consult it; it may be
+	// nil in bare single-package runs, which disables those halves.
+	Prog *loader.Program
 
 	// Report delivers one diagnostic. Analyzers usually call Reportf.
 	Report func(Diagnostic)
@@ -78,21 +120,24 @@ func (f Finding) String() string {
 // Run applies every analyzer to one type-checked package and returns the
 // surviving findings sorted by position. Marker suppression (see the
 // package comment) is applied here so every analyzer honours the same
-// escape hatch without reimplementing it.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
-	markers := collectMarkers(fset, files)
+// escape hatch without reimplementing it, and markers that suppressed
+// nothing across the whole run are reported stale.
+func Run(pkg *loader.Package, prog *loader.Program, analyzers []*Analyzer) ([]Finding, error) {
+	fset := pkg.Fset
+	markers := collectMarkers(fset, pkg.Files)
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Prog:      prog,
 		}
 		pass.Report = func(d Diagnostic) {
 			pos := fset.Position(d.Pos)
-			if !d.Unsuppressable && markers.suppresses(a.Name, pos) {
+			if !d.Unsuppressable && markers.suppress(a.Name, pos) {
 				return
 			}
 			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
@@ -100,6 +145,21 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
+	}
+	// Stale-marker check: a suppression comment naming an analyzer that ran
+	// here but silenced nothing is dead weight — and, worse, false
+	// documentation that a finding exists. Unsuppressable by construction:
+	// the fix is deleting the marker, not marking the marker.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, m := range markers.stale(ran) {
+		findings = append(findings, Finding{
+			Analyzer: "stalemarker",
+			Pos:      fset.Position(m.pos),
+			Message:  fmt.Sprintf("stale //lint:%s marker: it suppresses no %s diagnostic; delete it", m.name, m.name),
+		})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -117,24 +177,53 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	return findings, nil
 }
 
-// markerIndex records which analyzers are marker-suppressed on which lines.
-type markerIndex map[string]map[int][]string // filename -> line -> analyzer names
+// marker is one `//lint:<name>` comment, tracked so unused suppressions
+// can be reported stale.
+type marker struct {
+	name string
+	pos  token.Pos
+	used bool
+}
 
-func (m markerIndex) suppresses(analyzer string, pos token.Position) bool {
-	lines := m[pos.Filename]
+// markerIndex records which analyzers are marker-suppressed on which lines.
+type markerIndex struct {
+	byLine map[string]map[int][]*marker // filename -> line -> markers
+	all    []*marker                    // in source order
+}
+
+// suppress reports whether a marker for analyzer covers pos, recording the
+// marker as used when it does.
+func (m *markerIndex) suppress(analyzer string, pos token.Position) bool {
+	lines := m.byLine[pos.Filename]
+	hit := false
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer {
-				return true
+		for _, mk := range lines[line] {
+			if mk.name == analyzer {
+				mk.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns, in source order, every unused marker whose name is in the
+// ran set. Names outside the set are annotations (hotpath, sink,
+// guardedcall, walldomain, registered) or target analyzers not in this
+// run; neither is this run's business.
+func (m *markerIndex) stale(ran map[string]bool) []*marker {
+	var out []*marker
+	for _, mk := range m.all {
+		if !mk.used && ran[mk.name] {
+			out = append(out, mk)
+		}
+	}
+	return out
 }
 
 // collectMarkers indexes every `//lint:<name>` comment by file and line.
-func collectMarkers(fset *token.FileSet, files []*ast.File) markerIndex {
-	idx := make(markerIndex)
+func collectMarkers(fset *token.FileSet, files []*ast.File) *markerIndex {
+	idx := &markerIndex{byLine: make(map[string]map[int][]*marker)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -150,10 +239,12 @@ func collectMarkers(fset *token.FileSet, files []*ast.File) markerIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				if idx[pos.Filename] == nil {
-					idx[pos.Filename] = make(map[int][]string)
+				if idx.byLine[pos.Filename] == nil {
+					idx.byLine[pos.Filename] = make(map[int][]*marker)
 				}
-				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], name)
+				mk := &marker{name: name, pos: c.Pos()}
+				idx.byLine[pos.Filename][pos.Line] = append(idx.byLine[pos.Filename][pos.Line], mk)
+				idx.all = append(idx.all, mk)
 			}
 		}
 	}

@@ -39,15 +39,23 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 		loader.Root{Prefix: "", Dir: src},
 		loader.Root{Prefix: "igosim", Dir: modRoot},
 	)
+	// Load everything first, then snapshot the whole-program view: the
+	// interprocedural analyzers see all fixture packages at once, exactly
+	// like an igolint run over the module.
+	pkgs := make([]*loader.Package, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
 			t.Errorf("analysistest: loading %s: %v", path, err)
 			continue
 		}
-		findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		pkgs = append(pkgs, pkg)
+	}
+	prog := l.Program()
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, prog, []*analysis.Analyzer{a})
 		if err != nil {
-			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, pkg.Path, err)
 			continue
 		}
 		checkWants(t, pkg, findings)

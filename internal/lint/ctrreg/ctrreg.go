@@ -1,15 +1,16 @@
 // Package ctrreg keeps the observability registries complete: every
-// stats.CacheCounters constructed at package level must come from
-// stats.NewCacheCounters, which registers it so igo.ResetCaches /
-// stats.ResetAllCacheCounters can zero it between runs, and every
-// metrics.Counter / Gauge / Histogram / CounterVec must come from the
-// metrics constructors, which register it in the process-wide registry so
-// it appears in run manifests and exposition and resets with
-// metrics.Reset. A metric built with a composite literal (or new, or
-// declared as a zero value) never registers, so back-to-back experiment
-// runs silently mix its totals — the kind of cross-run contamination the
-// parallel golden tests cannot see because it only skews the observability
-// report.
+// counter type whose declaration carries a `//lint:registered` annotation
+// (stats.CacheCounters, metrics.Counter/Gauge/Histogram/CounterVec) must
+// be constructed through its registering constructor. A metric built with
+// a composite literal (or new, or declared as a zero value) never
+// registers, so back-to-back experiment runs silently mix its totals — the
+// kind of cross-run contamination the parallel golden tests cannot see
+// because it only skews the observability report.
+//
+// There is no hardcoded type list: the defining package annotates the type
+// declaration, and the analyzer discovers the set from the whole-program
+// view. Inside the defining package itself the check is off — that is
+// where the constructors build the literals.
 package ctrreg
 
 import (
@@ -19,30 +20,33 @@ import (
 	"strings"
 
 	"igosim/internal/lint/analysis"
+	"igosim/internal/lint/loader"
 )
 
 // Analyzer is the ctrreg check.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctrreg",
-	Doc: "package-level stats.CacheCounters and metrics.Counter/Gauge/Histogram/CounterVec " +
-		"must be built via their registering constructors",
+	Doc: "types annotated //lint:registered (stats.CacheCounters, metrics.Counter/...) " +
+		"must be built via their registering constructors outside their defining package",
 	Run: run,
 }
 
-// watched maps defining-package suffix to the registered type names whose
-// bare construction bypasses registration.
-var watched = map[string]map[string]bool{
-	"internal/stats":   {"CacheCounters": true},
-	"internal/metrics": {"Counter": true, "Gauge": true, "Histogram": true, "CounterVec": true},
-}
-
 func run(pass *analysis.Pass) error {
-	// The constructors' own packages build the literals.
-	p := pass.Pkg.Path()
-	for pkg := range watched {
-		if p == pkg || strings.HasSuffix(p, "/"+pkg) {
-			return nil
+	watched := registeredTypes(pass.Prog)
+	if len(watched) == 0 {
+		return nil
+	}
+	watchedType := func(t types.Type) string {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
 		}
+		obj := named.Obj()
+		// The constructors' own package builds the literals.
+		if !watched[obj] || obj.Pkg() == pass.Pkg {
+			return ""
+		}
+		return obj.Pkg().Name() + "." + obj.Name()
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -66,7 +70,7 @@ func run(pass *analysis.Pass) error {
 					continue
 				}
 				for _, v := range vs.Values {
-					checkInit(pass, v)
+					checkInit(pass, v, watchedType)
 				}
 			}
 		}
@@ -76,7 +80,7 @@ func run(pass *analysis.Pass) error {
 
 // checkInit walks a package-level initializer for counter constructions
 // that bypass registration.
-func checkInit(pass *analysis.Pass, expr ast.Expr) {
+func checkInit(pass *analysis.Pass, expr ast.Expr, watchedType func(types.Type) string) {
 	ast.Inspect(expr, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
@@ -98,28 +102,76 @@ func checkInit(pass *analysis.Pass, expr ast.Expr) {
 	})
 }
 
-// watchedType reports the qualified name ("stats.CacheCounters",
-// "metrics.Counter", ...) when t is exactly one of the registered counter
-// types, or "" otherwise. A pointer type is deliberately not matched: a nil
-// pointer declaration is inert, while a value-typed zero counter is live
-// and unregistered.
-func watchedType(t types.Type) string {
-	if t == nil {
-		return ""
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return ""
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil {
-		return ""
-	}
-	path := obj.Pkg().Path()
-	for pkg, names := range watched {
-		if (path == pkg || strings.HasSuffix(path, "/"+pkg)) && names[obj.Name()] {
-			return obj.Pkg().Name() + "." + obj.Name()
+// registeredTypes scans the whole program for type declarations annotated
+// `//lint:registered` (on the declaration line, the line above, or the doc
+// comment) and returns their type objects. Nil-safe: a bare
+// single-package run without a Program yields the empty set.
+func registeredTypes(prog *loader.Program) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, pkg := range prog.Packages() {
+		for _, file := range pkg.Files {
+			marks := registeredLines(pkg.Fset, file)
+			if len(marks) == 0 {
+				continue
+			}
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !specAnnotated(pkg.Fset, marks, gd, ts) {
+						continue
+					}
+					if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
 		}
 	}
-	return ""
+	return out
+}
+
+// registeredLines returns the line numbers of //lint:registered comments.
+func registeredLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if text == "lint:registered" || strings.HasPrefix(text, "lint:registered ") {
+				if lines == nil {
+					lines = make(map[int]bool)
+				}
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// specAnnotated reports whether the type spec (or its enclosing
+// declaration's doc comment) carries a registered annotation.
+func specAnnotated(fset *token.FileSet, marks map[int]bool, gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	line := fset.Position(ts.Pos()).Line
+	if marks[line] || marks[line-1] {
+		return true
+	}
+	for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+		if doc == nil {
+			continue
+		}
+		start := fset.Position(doc.Pos()).Line
+		end := fset.Position(doc.End()).Line
+		for l := start; l <= end; l++ {
+			if marks[l] {
+				return true
+			}
+		}
+	}
+	return false
 }

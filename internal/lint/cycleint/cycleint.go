@@ -8,6 +8,12 @@
 // operand passes through an explicit rounding call (math.Round, math.Floor,
 // math.Ceil, math.Trunc, math.RoundToEven) that makes the rounding
 // direction a stated decision.
+//
+// The check is transitive: a counter assigned from a helper call is
+// checked against the detflow call graph's truncated-return fact, so
+// hiding the truncation one function away (`c.Cycles = scaled(x)` where
+// scaled returns int64 of float arithmetic) is caught too, with the chain
+// to the truncating conversion in the message.
 package cycleint
 
 import (
@@ -16,25 +22,23 @@ import (
 	"regexp"
 
 	"igosim/internal/lint/analysis"
+	"igosim/internal/lint/detflow"
 )
 
 // Analyzer is the cycleint check.
 var Analyzer = &analysis.Analyzer{
 	Name: "cycleint",
 	Doc: "flags float arithmetic truncated into cycle/byte counters (names matching " +
-		"Cycles|Stall|Bytes|Evict|Spill) without an explicit math.Round/Floor/Ceil",
+		"Cycles|Stall|Bytes|Evict|Spill) without an explicit math.Round/Floor/Ceil, " +
+		"including truncations hidden behind helper returns",
 	Run: run,
 }
 
 // counterName matches identifiers that account cycles or bytes.
 var counterName = regexp.MustCompile(`(?i)(cycles|stall|bytes|evict|spill)`)
 
-// roundFuncs make the rounding direction explicit.
-var roundFuncs = map[string]bool{
-	"Round": true, "Floor": true, "Ceil": true, "Trunc": true, "RoundToEven": true,
-}
-
 func run(pass *analysis.Pass) error {
+	g := detflow.For(pass.Prog)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch st := n.(type) {
@@ -44,22 +48,22 @@ func run(pass *analysis.Pass) error {
 						continue
 					}
 					if i < len(st.Rhs) {
-						checkExpr(pass, st.Rhs[i], exprName(lhs))
+						checkExpr(pass, g, st.Rhs[i], exprName(lhs))
 					} else if len(st.Rhs) == 1 {
-						checkExpr(pass, st.Rhs[0], exprName(lhs))
+						checkExpr(pass, g, st.Rhs[0], exprName(lhs))
 					}
 				}
 			case *ast.ValueSpec:
 				for _, name := range st.Names {
 					if counterName.MatchString(name.Name) {
 						for _, v := range st.Values {
-							checkExpr(pass, v, name.Name)
+							checkExpr(pass, g, v, name.Name)
 						}
 					}
 				}
 			case *ast.KeyValueExpr:
 				if id, ok := st.Key.(*ast.Ident); ok && counterName.MatchString(id.Name) {
-					checkExpr(pass, st.Value, id.Name)
+					checkExpr(pass, g, st.Value, id.Name)
 				}
 			}
 			return true
@@ -87,84 +91,45 @@ func exprName(e ast.Expr) string {
 	return ""
 }
 
-// checkExpr walks rhs for integer conversions of unrounded float
-// arithmetic feeding the named counter.
-func checkExpr(pass *analysis.Pass, rhs ast.Expr, target string) {
+// checkExpr flags rhs feeding the named counter: inline integer
+// conversions of unrounded float arithmetic (shared detector with
+// detflow), and calls to functions that transitively return one.
+func checkExpr(pass *analysis.Pass, g *detflow.Graph, rhs ast.Expr, target string) {
+	if pos, conv, ok := detflow.FloatTruncation(pass.TypesInfo, rhs); ok {
+		pass.Reportf(pos, "float arithmetic truncated into %s by %s(...); wrap the operand in math.Round/Floor/Ceil to make the rounding explicit", target, conv)
+		return
+	}
+	// Transitive: counter assigned from a helper whose return truncates.
 	ast.Inspect(rhs, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) != 1 {
-			return true
-		}
-		tv, ok := pass.TypesInfo.Types[call.Fun]
-		if !ok || !tv.IsType() {
-			return true
-		}
-		basic, ok := tv.Type.Underlying().(*types.Basic)
-		if !ok || basic.Info()&types.IsInteger == 0 {
-			return true
-		}
-		arg := ast.Unparen(call.Args[0])
-		at := pass.TypesInfo.TypeOf(arg)
-		if at == nil {
-			return true
-		}
-		ab, ok := at.Underlying().(*types.Basic)
-		if !ok || ab.Info()&types.IsFloat == 0 {
-			return true
-		}
-		if isRoundCall(pass, arg) {
-			return true
-		}
-		if !containsFloatArith(pass, arg) {
-			return true
-		}
-		pass.Reportf(call.Pos(), "float arithmetic truncated into %s by %s(...); wrap the operand in math.Round/Floor/Ceil to make the rounding explicit", target, basic.Name())
-		return false
-	})
-}
-
-// isRoundCall reports whether e is math.Round/Floor/Ceil/Trunc(...).
-func isRoundCall(pass *analysis.Pass, e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "math" && roundFuncs[obj.Name()]
-}
-
-// containsFloatArith reports whether e contains +,-,*,/ on float operands.
-func containsFloatArith(pass *analysis.Pass, e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		// Don't descend into nested rounding calls: their operand's
-		// arithmetic is already rounded.
-		if call, ok := n.(*ast.CallExpr); ok && isRoundCall(pass, call) {
-			return false
-		}
-		bin, ok := n.(*ast.BinaryExpr)
 		if !ok {
 			return true
 		}
-		switch bin.Op.String() {
-		case "+", "-", "*", "/":
-		default:
+		fn := calleeOf(pass, call)
+		if fn == nil {
 			return true
 		}
-		if t := pass.TypesInfo.TypeOf(bin.X); t != nil {
-			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
-				found = true
-				return false
-			}
+		if chain, ok := g.TruncatedReturn(fn); ok {
+			pass.Reportf(call.Pos(), "%s is assigned from %s, which returns truncated float arithmetic: %s; round explicitly at the source", target, fn.Name(), chain)
+			return false
 		}
 		return true
 	})
-	return found
+}
+
+// calleeOf resolves a call's static callee, skipping conversions.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		return nil
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }

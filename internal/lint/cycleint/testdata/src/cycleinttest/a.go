@@ -63,3 +63,41 @@ func suppressed(n int, frac float64) int64 {
 	totalBytes := int64(frac * float64(n))
 	return totalBytes
 }
+
+// scaled returns a truncated float product: the truncation fact detflow
+// derives for it travels to every counter assignment below.
+func scaled(n int, frac float64) int64 {
+	return int64(frac * float64(n))
+}
+
+// rescaled forwards scaled's truncation through a bare return call.
+func rescaled(n int, frac float64) int64 {
+	return scaled(n, frac)
+}
+
+// viaHelper assigns a counter from a helper that returns truncated float
+// arithmetic: flagged transitively through the call graph.
+func viaHelper(n int, frac float64) int64 {
+	var dmaCycles int64
+	dmaCycles = scaled(n, frac) // want `dmaCycles is assigned from scaled, which returns truncated float arithmetic`
+	return dmaCycles
+}
+
+// viaDeepHelper follows a two-hop return chain.
+func viaDeepHelper(n int, frac float64) int64 {
+	var stallCycles int64
+	stallCycles = rescaled(n, frac) // want `stallCycles is assigned from rescaled, which returns truncated float arithmetic`
+	return stallCycles
+}
+
+// viaRounded assigns from a helper that rounds explicitly: clean.
+func viaRounded(f float64) int64 {
+	var readBytes int64
+	readBytes = rounded(f)
+	return readBytes
+}
+
+// rounded makes its rounding explicit.
+func rounded(f float64) int64 {
+	return int64(math.Round(f * 2))
+}

@@ -1,0 +1,131 @@
+// The detflow analyzer proves — not spot-checks — that the Cycle domain is
+// deterministic: every function in a cycle-domain package (and the metrics
+// Cycle-registry entry points) must be unable to reach a nondeterminism
+// source through any chain of calls. Violations carry the full call chain
+// ("sim.Step → runner.tick → time.Now (runner.go:42)") so a finding is a
+// readable proof trace, not a bare position.
+//
+// Wall-domain packages opt individual functions out with a per-function
+// //lint:walldomain certification (on the declaration or its doc comment),
+// asserting the nondeterminism stays in wall-domain outputs (timings,
+// progress logs) and never feeds simulation state. Certifications are
+// verified load-bearing: one on a function that reaches no nondeterminism
+// is itself an error, as is one inside the cycle domain or one attached to
+// no declaration. There are no package allowlists.
+package detflow
+
+import (
+	"fmt"
+	"sync"
+
+	"igosim/internal/lint/analysis"
+	"igosim/internal/lint/loader"
+)
+
+// Analyzer is the detflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "proves cycle-domain determinism by whole-program taint propagation over the call " +
+		"graph {wall-clock, rand, map-order emission, global writes}; verifies every " +
+		"//lint:walldomain certification is load-bearing",
+	Run: run,
+}
+
+var (
+	graphMu sync.Mutex
+	graphs  = make(map[*loader.Program]*Graph)
+)
+
+func run(pass *analysis.Pass) error {
+	g := For(pass.Prog)
+	if g == nil {
+		return nil // single-package run: no whole-program view
+	}
+	path := pass.Pkg.Path()
+	isCyclePkg := cycleDomainPkg(path)
+
+	for _, n := range g.nodesOf(path) {
+		// Clock and randomness reaching the cycle domain can never be waved
+		// through: reported on the entry declaration with the full chain.
+		// Literal nodes propagate into their enclosing declaration, so only
+		// top-level nodes report.
+		if n.parent == nil && cycleEntry(n) {
+			for _, k := range []Kind{KindWallclock, KindRand} {
+				if !n.taint.Has(k) {
+					continue
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos,
+					Message: fmt.Sprintf("cycle-domain function %s reaches %s: %s",
+						n.name, k, g.chain(n, k)),
+					Unsuppressable: true,
+				})
+			}
+		}
+
+		// The structural kinds (map-order emission, global writes, unknown
+		// callees) report once at the source site — with a real chain from
+		// one cycle-domain entry — rather than once per entry reaching it,
+		// and keep the //lint:detflow marker escape at that site.
+		if _, reached := g.reach[n]; reached {
+			for _, k := range []Kind{KindMapOrder, KindGlobalWrite, KindUnknown} {
+				if s := n.direct[k]; s != nil {
+					pass.Report(analysis.Diagnostic{
+						Pos: s.pos,
+						Message: fmt.Sprintf("%s reachable from the cycle domain: %s",
+							k, g.reachChain(n, k)),
+					})
+				}
+			}
+		}
+
+		// Certification hygiene: a certification must sit outside the
+		// cycle domain and must actually stand between the cycle domain
+		// and real nondeterminism.
+		if n.certified {
+			switch {
+			case isCyclePkg || cycleEntry(n):
+				pass.Report(analysis.Diagnostic{
+					Pos: n.certPos,
+					Message: fmt.Sprintf("//lint:walldomain on cycle-domain function %s: "+
+						"the cycle domain cannot certify nondeterminism away; remove the marker", n.name),
+					Unsuppressable: true,
+				})
+			case n.rawTaint == 0:
+				pass.Report(analysis.Diagnostic{
+					Pos: n.certPos,
+					Message: fmt.Sprintf("//lint:walldomain on %s is not load-bearing: "+
+						"the function reaches no nondeterminism source; delete the marker", n.name),
+					Unsuppressable: true,
+				})
+			}
+		}
+
+		// Outside the cycle domain, direct clock/randomness use must be
+		// explicitly certified — that is the per-function replacement for
+		// the old package allowlist.
+		if !isCyclePkg && !cycleEntry(n) && !n.effCertified() {
+			for _, k := range []Kind{KindWallclock, KindRand} {
+				if s := n.direct[k]; s != nil {
+					pass.Report(analysis.Diagnostic{
+						Pos: s.pos,
+						Message: fmt.Sprintf("%s in %s: certify the enclosing top-level declaration "+
+							"with //lint:walldomain <reason> (wall-domain use only)", s.desc, n.name),
+						Unsuppressable: true,
+					})
+				}
+			}
+		}
+	}
+
+	// Certifications attached to no function declaration.
+	for _, pos := range g.strayCerts[path] {
+		pass.Report(analysis.Diagnostic{
+			Pos: pos,
+			Message: "//lint:walldomain attaches to no function declaration; " +
+				"place it on the declaration line or its doc comment",
+			Unsuppressable: true,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"igosim/internal/lint/analysistest"
+	"igosim/internal/lint/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, "testdata", detflow.Analyzer,
+		"igosim/internal/sim",      // cycle domain: entry-point proofs
+		"igosim/internal/wallhelp", // wall domain: certification hygiene
+	)
+}

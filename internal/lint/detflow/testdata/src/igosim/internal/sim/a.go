@@ -1,0 +1,80 @@
+// Package sim is the detflow fixture for the cycle domain: every entry
+// point must be unable to reach nondeterminism through any chain of calls,
+// wall-clock and randomness findings are unsuppressable and carry the full
+// chain, and the structural kinds report once at their source site.
+package sim
+
+import (
+	"sync"
+
+	"igosim/internal/wallhelp"
+)
+
+// twoHop reaches the clock through a helper in another package: the
+// finding names every hop.
+func twoHop() int64 { // want `cycle-domain function sim\.twoHop reaches wall-clock: sim\.twoHop → wallhelp\.Stamp → time\.Now \(a\.go:\d+\)`
+	return wallhelp.Stamp()
+}
+
+// viaRand reaches ambient randomness two hops away.
+func viaRand() int { // want `cycle-domain function sim\.viaRand reaches ambient randomness: sim\.viaRand → wallhelp\.Roll → rand\.Int \(a\.go:\d+\)`
+	return wallhelp.Roll()
+}
+
+// certifiedBarrier calls a certified helper: the certification is the
+// propagation barrier, so nothing is reported here.
+func certifiedBarrier() int64 {
+	return wallhelp.CertStamp()
+}
+
+// fieldFlow calls through a function-typed field: the callee set is every
+// function ever assigned to the field, here wallhelp.Stamp.
+func fieldFlow() int64 { // want `cycle-domain function sim\.fieldFlow reaches wall-clock: sim\.fieldFlow → wallhelp\.Stamp → time\.Now \(a\.go:\d+\)`
+	c := wallhelp.Cfg{Hook: wallhelp.Stamp}
+	return c.Hook()
+}
+
+// hooks is a package-level collection of function values: candidates are
+// not tracked through collections, so a call through an element is
+// conservatively unknown, reported (suppressably) at the call site.
+var hooks = map[string]func(){"a": func() {}}
+
+func callHook() {
+	hooks["a"]() // want `unresolvable function value reachable from the cycle domain: sim\.callHook → call through an element of hooks, a collection of function values \(a\.go:\d+\)`
+}
+
+var total int64
+
+// accumulate writes a package-level variable without synchronization.
+func accumulate(d int64) {
+	total += d // want `unsynchronized global write reachable from the cycle domain: sim\.accumulate → write to package-level total \(a\.go:\d+\)`
+}
+
+var mu sync.Mutex
+
+// guarded takes a lock before writing: the sync heuristic excuses it.
+func guarded(d int64) {
+	mu.Lock()
+	total += d
+	mu.Unlock()
+}
+
+// suppressed demonstrates the structural-kind escape hatch: the marker is
+// honoured (and therefore not stale).
+func suppressed(d int64) {
+	//lint:detflow fixture demonstrating the escape hatch
+	total += d
+}
+
+// dumpAll emits inside a map range through a helper: iteration order leaks
+// into the output stream two hops away.
+func dumpAll(m map[string]int) {
+	for k, v := range m { // want `order-dependent map emission reachable from the cycle domain: sim\.dumpAll → map-range body calls wallhelp\.Emit, which emits output \(a\.go:\d+\)`
+		wallhelp.Emit(k, v)
+	}
+}
+
+// cannotCertify shows the cycle domain cannot certify nondeterminism away.
+//
+//lint:walldomain void here // want `//lint:walldomain on cycle-domain function sim\.cannotCertify`
+func cannotCertify() {}

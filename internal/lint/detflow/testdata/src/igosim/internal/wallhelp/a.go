@@ -1,0 +1,41 @@
+// Package wallhelp is the detflow fixture's wall-domain helper package:
+// direct clock and randomness use must be certified per function, and a
+// certification must be load-bearing and attached to a declaration.
+package wallhelp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the clock without certification: flagged at the source site.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in wallhelp\.Stamp: certify the enclosing top-level declaration`
+}
+
+// Roll draws ambient randomness without certification.
+func Roll() int {
+	return rand.Int() // want `rand\.Int in wallhelp\.Roll: certify the enclosing top-level declaration`
+}
+
+// CertStamp's clock read is declared wall-domain-only; the certification
+// is load-bearing, so it stands.
+//
+//lint:walldomain fixture: timing feeds wall-domain output only
+func CertStamp() int64 { return time.Now().UnixNano() }
+
+// Pure reaches no nondeterminism, so certifying it is an error.
+//
+//lint:walldomain dead certification // want `//lint:walldomain on wallhelp\.Pure is not load-bearing`
+func Pure() int { return 42 }
+
+// Cfg carries the function-typed field the sim fixture calls through.
+type Cfg struct{ Hook func() int64 }
+
+// Emit prints one entry: it transitively "emits output".
+func Emit(k string, v int) { fmt.Println(k, v) }
+
+//lint:walldomain floating, attached to nothing // want `//lint:walldomain attaches to no function declaration`
+
+var _ = 0

@@ -15,6 +15,11 @@
 //
 // Order-insensitive bodies (summing, counting, building another map) are
 // never flagged.
+//
+// The emission check is transitive: a map-range body that calls a helper
+// which (through any chain of calls, per the detflow call graph) reaches a
+// fmt stream printer leaks iteration order into output just as surely as
+// printing inline, and is flagged the same way.
 package detmap
 
 import (
@@ -23,6 +28,7 @@ import (
 	"go/types"
 
 	"igosim/internal/lint/analysis"
+	"igosim/internal/lint/detflow"
 )
 
 // Analyzer is the detmap check.
@@ -48,6 +54,7 @@ var fmtEmitters = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	g := detflow.For(pass.Prog)
 	for _, file := range pass.Files {
 		// Map each function body to its node so a range statement can find
 		// the enclosing function for the sort-after-append escape.
@@ -76,7 +83,7 @@ func run(pass *analysis.Pass) error {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			checkMapRange(pass, rs, enclosingBody(funcBodies, rs))
+			checkMapRange(pass, g, rs, enclosingBody(funcBodies, rs))
 			return true
 		})
 	}
@@ -96,7 +103,7 @@ func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
 	return best
 }
 
-func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, fn *ast.BlockStmt) {
+func checkMapRange(pass *analysis.Pass, g *detflow.Graph, rs *ast.RangeStmt, fn *ast.BlockStmt) {
 	var appendTargets []types.Object
 	reported := false
 	report := func(pos token.Pos, what string) {
@@ -118,10 +125,17 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, fn *ast.BlockStmt) {
 					appendTargets = append(appendTargets, obj)
 				}
 			}
+			if obj, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok && g.EmitsAll(obj) {
+				report(call.Pos(), "call to "+obj.Name()+", which transitively prints")
+			}
 		case *ast.SelectorExpr:
 			if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
 				if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && fmtEmitters[obj.Name()] {
 					report(call.Pos(), "fmt."+obj.Name())
+					return true
+				}
+				if g.EmitsAll(obj) {
+					report(call.Pos(), "call to "+obj.Name()+", which transitively prints")
 					return true
 				}
 			}

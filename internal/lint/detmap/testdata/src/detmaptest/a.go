@@ -84,3 +84,40 @@ func loopLocal(m map[string][]int) int {
 	}
 	return n
 }
+
+// logEntry prints through one level of indirection.
+func logEntry(k string, v int) {
+	fmt.Println(k, v)
+}
+
+// logDeep prints through two levels.
+func logDeep(k string, v int) {
+	logEntry(k, v)
+}
+
+// viaHelper emits through a helper call: the whole-program call graph
+// proves the helper transitively prints.
+func viaHelper(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output via call to logEntry, which transitively prints`
+		logEntry(k, v)
+	}
+}
+
+// viaDeepHelper emits through two helper hops.
+func viaDeepHelper(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output via call to logDeep, which transitively prints`
+		logDeep(k, v)
+	}
+}
+
+// viaPureHelper calls a helper that never prints: clean.
+func viaPureHelper(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += double(v)
+	}
+	return n
+}
+
+// double is a pure helper.
+func double(v int) int { return 2 * v }

@@ -1,15 +1,16 @@
-// Package lint assembles the igolint analyzer suite: seven go/analysis-style
-// checks that prove the simulator's determinism and zero-overhead
-// invariants at compile time (see DESIGN.md §3e). The cmd/igolint driver
-// runs All() over the module; each analyzer also ships an
-// analysistest-based unit suite so plain `go test ./...` exercises the
-// checks themselves.
+// Package lint assembles the igolint analyzer suite: eight
+// go/analysis-style checks that prove the simulator's determinism and
+// zero-overhead invariants at compile time (see DESIGN.md §3e and §3j).
+// The cmd/igolint driver runs All() over the module; each analyzer also
+// ships an analysistest-based unit suite so plain `go test ./...`
+// exercises the checks themselves.
 package lint
 
 import (
 	"igosim/internal/lint/analysis"
 	"igosim/internal/lint/ctrreg"
 	"igosim/internal/lint/cycleint"
+	"igosim/internal/lint/detflow"
 	"igosim/internal/lint/detmap"
 	"igosim/internal/lint/hotalloc"
 	"igosim/internal/lint/nilguard"
@@ -22,6 +23,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctrreg.Analyzer,
 		cycleint.Analyzer,
+		detflow.Analyzer,
 		detmap.Analyzer,
 		hotalloc.Analyzer,
 		nilguard.Analyzer,

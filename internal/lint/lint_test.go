@@ -6,13 +6,13 @@ import (
 	"igosim/internal/lint"
 )
 
-// TestSuiteShape pins the analyzer roster: seven distinct, documented,
+// TestSuiteShape pins the analyzer roster: eight distinct, documented,
 // runnable checks. A rename or accidental drop fails here before the
 // Makefile's lint target can silently thin out.
 func TestSuiteShape(t *testing.T) {
 	all := lint.All()
-	if len(all) != 7 {
-		t.Fatalf("lint.All() has %d analyzers, want 7", len(all))
+	if len(all) != 8 {
+		t.Fatalf("lint.All() has %d analyzers, want 8", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
@@ -24,7 +24,7 @@ func TestSuiteShape(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"detmap", "wallclock", "cycleint", "hotalloc", "nilguard", "spanpair", "ctrreg"} {
+	for _, want := range []string{"detmap", "detflow", "wallclock", "cycleint", "hotalloc", "nilguard", "spanpair", "ctrreg"} {
 		if !seen[want] {
 			t.Errorf("analyzer %q missing from lint.All()", want)
 		}

@@ -5,9 +5,15 @@
 // then GOROOT/src — and the whole transitive closure is checked from
 // source, so the loader works offline with no build cache or export data.
 //
-// Dependency packages are checked with function bodies ignored (their
-// exported API is all the analyzers need); only packages loaded through
-// Load get full bodies and a populated types.Info.
+// Packages that resolve through a Root (the module under analysis and any
+// fixture tree) are checked with full function bodies and a populated
+// types.Info, exactly once per loader, whether they are named directly or
+// pulled in as dependencies; the resulting Program is the shared
+// whole-program view the interprocedural analyzers (detflow) consume, and
+// the memoization is what keeps one igolint run from re-type-checking a
+// package per analyzer or per dependent. Packages that fall through to
+// GOROOT (the standard library) are checked with bodies ignored — their
+// exported API is all any analyzer needs.
 package loader
 
 import (
@@ -21,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Root maps an import-path prefix to a directory. A Root with an empty
@@ -48,7 +55,8 @@ type Loader struct {
 	ctxt  build.Context
 	sizes types.Sizes
 
-	deps    map[string]*types.Package // API-only packages, bodies ignored
+	deps    map[string]*types.Package // API-only stdlib packages, bodies ignored
+	full    map[string]*Package       // in-root packages, full bodies + Info
 	loading map[string]bool           // import cycle detection
 }
 
@@ -64,12 +72,15 @@ func New(roots ...Root) *Loader {
 		ctxt:    ctxt,
 		sizes:   types.SizesFor("gc", build.Default.GOARCH),
 		deps:    make(map[string]*types.Package),
+		full:    make(map[string]*Package),
 		loading: make(map[string]bool),
 	}
 }
 
 // dirFor resolves an import path to a directory, or "" when unresolvable.
-func (l *Loader) dirFor(path string) string {
+// inRoot reports whether the path resolved through one of the loader's
+// Roots (and so belongs to the analyzed program) rather than GOROOT.
+func (l *Loader) dirFor(path string) (dir string, inRoot bool) {
 	for _, r := range l.roots {
 		var dir string
 		switch {
@@ -83,20 +94,20 @@ func (l *Loader) dirFor(path string) string {
 			continue
 		}
 		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
-			return dir
+			return dir, true
 		}
 	}
-	dir := filepath.Join(l.goroot(), "src", filepath.FromSlash(path))
+	dir = filepath.Join(l.goroot(), "src", filepath.FromSlash(path))
 	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
-		return dir
+		return dir, false
 	}
 	// The standard library vendors its golang.org/x dependencies (net/http
 	// pulls crypto/tls pulls golang.org/x/crypto/...) under src/vendor.
 	dir = filepath.Join(l.goroot(), "src", "vendor", filepath.FromSlash(path))
 	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
-		return dir
+		return dir, false
 	}
-	return ""
+	return "", false
 }
 
 func (l *Loader) goroot() string {
@@ -107,10 +118,21 @@ func (l *Loader) goroot() string {
 }
 
 // Load type-checks the package at the given import path with full function
-// bodies and a populated types.Info. Test files are excluded: igolint's
-// invariants govern shipping code.
+// bodies and a populated types.Info, memoized per loader: a package named
+// on the command line and the same package reached as another's dependency
+// are checked once and share one *Package. Test files are excluded:
+// igolint's invariants govern shipping code.
 func (l *Loader) Load(path string) (*Package, error) {
-	dir := l.dirFor(path)
+	if pkg, ok := l.full[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, _ := l.dirFor(path)
 	if dir == "" {
 		return nil, fmt.Errorf("loader: cannot resolve %q under any root", path)
 	}
@@ -125,13 +147,59 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
 	}
 	conf := l.config(false)
 	pkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
 	}
-	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: pkg, Info: info}
+	l.full[path] = p
+	return p, nil
+}
+
+// Program is the whole-program view over every in-root package a loader
+// has fully type-checked: the input to interprocedural analyses (the
+// detflow call graph) and the shared artifact that keeps analyzers from
+// re-loading. Snapshot it with Loader.Program after all Load calls.
+type Program struct {
+	pkgs  map[string]*Package
+	order []string // sorted paths, for deterministic iteration
+}
+
+// Program returns the current whole-program snapshot: every in-root
+// package fully loaded so far (directly or as a dependency), in sorted
+// path order.
+func (l *Loader) Program() *Program {
+	p := &Program{pkgs: make(map[string]*Package, len(l.full))}
+	for path, pkg := range l.full {
+		p.pkgs[path] = pkg
+		p.order = append(p.order, path)
+	}
+	sort.Strings(p.order)
+	return p
+}
+
+// Package returns the fully loaded package at path, or nil when the path
+// is outside the program (standard library, unanalyzed).
+func (p *Program) Package(path string) *Package {
+	if p == nil {
+		return nil
+	}
+	return p.pkgs[path]
+}
+
+// Packages returns every program package in sorted path order.
+func (p *Program) Packages() []*Package {
+	if p == nil {
+		return nil
+	}
+	out := make([]*Package, 0, len(p.order))
+	for _, path := range p.order {
+		out = append(out, p.pkgs[path])
+	}
+	return out
 }
 
 func (l *Loader) config(ignoreBodies bool) types.Config {
@@ -145,14 +213,31 @@ func (l *Loader) config(ignoreBodies bool) types.Config {
 	}
 }
 
-// importDep satisfies types.Importer for transitive dependencies, checking
-// each from source once (bodies ignored) and caching the result.
+// importDep satisfies types.Importer for transitive dependencies. In-root
+// dependencies (module and fixture packages) are fully loaded through Load
+// — bodies, Info and all — so the whole-program analyses see them and the
+// work is shared with any later direct Load of the same path. Standard
+// library dependencies are checked once with bodies ignored.
 func (l *Loader) importDep(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	if pkg, ok := l.full[path]; ok {
+		return pkg.Types, nil
+	}
 	if pkg, ok := l.deps[path]; ok {
 		return pkg, nil
+	}
+	dir, inRoot := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("loader: cannot resolve import %q", path)
+	}
+	if inRoot {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
 	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("loader: import cycle through %q", path)
@@ -160,10 +245,6 @@ func (l *Loader) importDep(path string) (*types.Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	dir := l.dirFor(path)
-	if dir == "" {
-		return nil, fmt.Errorf("loader: cannot resolve import %q", path)
-	}
 	files, err := l.parseDir(path, dir)
 	if err != nil {
 		return nil, err
@@ -178,7 +259,10 @@ func (l *Loader) importDep(path string) (*types.Package, error) {
 }
 
 // parseDir parses the package's non-test Go files (honouring build
-// constraints for the host platform, cgo off) in deterministic order.
+// constraints for the host platform, cgo off). Files parse concurrently —
+// token.FileSet is documented safe for concurrent use — and land at their
+// name-sorted index, so the file order the type checker sees is
+// deterministic regardless of scheduling.
 func (l *Loader) parseDir(path, dir string) ([]*ast.File, error) {
 	bp, err := l.ctxt.ImportDir(dir, 0)
 	if err != nil {
@@ -186,13 +270,22 @@ func (l *Loader) parseDir(path, dir string) ([]*ast.File, error) {
 	}
 	names := append([]string(nil), bp.GoFiles...)
 	sort.Strings(names)
-	files := make([]*ast.File, 0, len(names))
-	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("loader: %s: %w", path, err)
 		}
-		files = append(files, f)
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("loader: %s: no buildable Go files in %s", path, dir)

@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"igosim/internal/lint"
+	"igosim/internal/lint/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteSARIFGolden pins the SARIF artifact byte for byte: rules in
+// roster order plus the synthetic stalemarker rule, results in input order,
+// URIs relative to the root and forward-slashed.
+func TestWriteSARIFGolden(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("work", "igosim")
+	findings := []analysis.Finding{
+		{
+			Analyzer: "detflow",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "sim", "sim.go"), Line: 12, Column: 3},
+			Message:  "cycle-domain function sim.Step reaches wall-clock: sim.Step → runner.tick → time.Now (runner.go:42)",
+		},
+		{
+			Analyzer: "stalemarker",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "runner", "runner.go"), Line: 7, Column: 1},
+			Message:  "stale //lint:detmap marker: it suppresses no detmap diagnostic; delete it",
+		},
+		{
+			Analyzer: "wallclock",
+			Pos:      token.Position{Filename: filepath.Join("elsewhere", "x.go"), Line: 1, Column: 1},
+			Message:  "a finding outside root keeps its original path",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, lint.All(), findings, root); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "sarif.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output differs from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestWriteSARIFEmpty keeps the no-findings artifact well-formed: results
+// must encode as [], not null.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, lint.All(), nil, "/work"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"results": null`)) {
+		t.Errorf("empty findings encoded as null results:\n%s", buf.Bytes())
+	}
+}

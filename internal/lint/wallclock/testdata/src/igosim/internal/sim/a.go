@@ -1,6 +1,7 @@
 // Package sim is the wallclock fixture for a forbidden (cycle-accounting)
-// package: every wall-clock read and math/rand import is flagged, and the
-// //lint:wallclock marker cannot excuse them.
+// package: every wall-clock read and math/rand import is flagged, findings
+// are unsuppressable, and a //lint:wallclock marker — since it can excuse
+// nothing here — is itself reported stale.
 package sim
 
 import (
@@ -15,7 +16,7 @@ func elapsed() int64 {
 }
 
 func markedAnyway() {
-	//lint:wallclock markers cannot excuse cycle-accounting packages
+	//lint:wallclock markers cannot excuse cycle packages // want `stale //lint:wallclock marker`
 	time.Sleep(0) // want `wall-clock read time\.Sleep`
 }
 

@@ -1,0 +1,13 @@
+// Package sim sits at a path whose SUFFIX matches a cycle-accounting
+// package ("internal/sim") but which belongs to another module. The
+// module-anchored matcher must leave it alone — a suffix match here was
+// exactly the bug this fixture pins.
+package sim
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -2,18 +2,25 @@
 // time.Sleep) and math/rand in the simulator's cycle-accounting packages.
 // Simulated time advances only by integer cycle arithmetic; a wall-clock
 // read or RNG draw in internal/sim, internal/core, internal/spm,
-// internal/schedule, internal/dram, internal/energy, internal/refmodel or
-// internal/proptest would make results vary run to run and break the
-// byte-identical golden figures (proptest's deterministic splitmix64 source
-// exists precisely so the property suite never needs math/rand). Findings
-// in those packages are unsuppressable.
+// internal/schedule, internal/dram, internal/energy, internal/refmodel,
+// internal/proptest or internal/dse would make results vary run to run and
+// break the byte-identical golden figures (proptest's deterministic
+// splitmix64 source exists precisely so the property suite never needs
+// math/rand). Findings here are unsuppressable.
 //
-// internal/runner, internal/trace, internal/metrics and cmd/sweep
-// legitimately observe wall-clock time (worker task spans, trace
-// timestamps, wall-domain metric observations, sweep progress ETA); each
-// such use must carry a `//lint:wallclock <reason>` marker on its line or
-// the line above, which both documents the exemption and suppresses the
-// finding.
+// This analyzer is the fast, syntactic first line: it flags direct call
+// sites inside the cycle domain. The interprocedural half — nondeterminism
+// reached through helper calls, and the per-function //lint:walldomain
+// certifications that wall-domain packages (runner, trace, cmd/*) use to
+// document legitimate clock reads — lives in the detflow analyzer. There
+// is no package allowlist: a package is either cycle-accounting (listed
+// here and in detflow's cycle domain) or its functions certify each
+// wall-clock use individually.
+//
+// Package matching anchors to the module path: "igosim/internal/sim"
+// matches, a hypothetical "othermod/internal/sim" or "igosim/internal/
+// xsim" never does. (Fixture trees that mimic the module layout without
+// the prefix match by the bare relative path.)
 package wallclock
 
 import (
@@ -27,8 +34,8 @@ import (
 // Analyzer is the wallclock check.
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
-	Doc: "forbids time.Now/Since/Sleep and math/rand in cycle-accounting packages; " +
-		"runner/trace/metrics/sweep uses need a //lint:wallclock marker",
+	Doc: "forbids time.Now/Since/Sleep and math/rand call sites in cycle-accounting " +
+		"packages (unsuppressable); detflow proves the transitive closure",
 	Run: run,
 }
 
@@ -40,25 +47,11 @@ var forbidden = []string{
 	"internal/refmodel", "internal/proptest", "internal/dse",
 }
 
-// marked packages may read the wall clock with a documented marker.
-var marked = []string{"internal/runner", "internal/trace", "internal/metrics", "cmd/sweep"}
-
 // clockFuncs are the time functions that read the wall clock.
 var clockFuncs = map[string]bool{"Now": true, "Since": true, "Sleep": true}
 
-func hasSuffix(path string, suffixes []string) bool {
-	for _, s := range suffixes {
-		if path == s || strings.HasSuffix(path, "/"+s) {
-			return true
-		}
-	}
-	return false
-}
-
 func run(pass *analysis.Pass) error {
-	path := pass.Pkg.Path()
-	hard := hasSuffix(path, forbidden)
-	if !hard && !hasSuffix(path, marked) {
+	if !analysis.InModuleAny(pass.Pkg.Path(), forbidden) {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -68,7 +61,7 @@ func run(pass *analysis.Pass) error {
 				pass.Report(analysis.Diagnostic{
 					Pos:            imp.Pos(),
 					Message:        "math/rand imported in a cycle-accounting package; simulated behaviour must be deterministic",
-					Unsuppressable: hard,
+					Unsuppressable: true,
 				})
 			}
 		}
@@ -81,11 +74,12 @@ func run(pass *analysis.Pass) error {
 			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !clockFuncs[obj.Name()] {
 				return true
 			}
-			msg := "wall-clock read time." + obj.Name() + " in a cycle-accounting package; cycles advance only by integer arithmetic"
-			if !hard {
-				msg = "time." + obj.Name() + " in " + path + " needs a //lint:wallclock marker explaining the wall-clock use"
-			}
-			pass.Report(analysis.Diagnostic{Pos: sel.Pos(), Message: msg, Unsuppressable: hard})
+			pass.Report(analysis.Diagnostic{
+				Pos: sel.Pos(),
+				Message: "wall-clock read time." + obj.Name() +
+					" in a cycle-accounting package; cycles advance only by integer arithmetic",
+				Unsuppressable: true,
+			})
 			return true
 		})
 	}

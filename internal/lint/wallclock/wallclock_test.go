@@ -9,9 +9,8 @@ import (
 
 func TestWallclock(t *testing.T) {
 	analysistest.Run(t, "testdata", wallclock.Analyzer,
-		"igosim/internal/sim",    // forbidden: flagged, markers ignored
-		"igosim/internal/runner", // marked: flagged unless //lint:wallclock
-		"igosim/cmd/sweep",       // marked CLI: progress ETA reads need markers
-		"wcother",                // unscoped: ignored entirely
+		"igosim/internal/sim",   // forbidden: flagged, markers stale
+		"othermod/internal/sim", // same suffix, other module: ignored
+		"wcother",               // unscoped: ignored entirely
 	)
 }

@@ -37,6 +37,7 @@ type Manifest struct {
 	Trace       *TraceSummary     `json:"trace,omitempty"`
 	Caches      []CacheInfo       `json:"caches"`
 	Metrics     []Sample          `json:"metrics"`
+	WallMetrics []Sample          `json:"wall_metrics,omitempty"`
 	Extra       map[string]string `json:"extra,omitempty"`
 }
 
@@ -158,6 +159,15 @@ func (m *Manifest) Finalize(r *Registry) {
 		snap = []Sample{}
 	}
 	m.Metrics = snap
+}
+
+// FinalizeWall additionally records the Wall-domain registry snapshot
+// (timings, budgets). Wall samples vary run to run by nature, so this is
+// opt-in and the field is omitted when unused: the simulator CLIs never
+// call it and their manifests stay byte-identical at any -j; tooling whose
+// manifest IS about wall time (igolint's budget record) does.
+func (m *Manifest) FinalizeWall(r *Registry) {
+	m.WallMetrics = r.Snapshot(Wall)
 }
 
 func cacheInfos(snaps []stats.CacheSnapshot) []CacheInfo {

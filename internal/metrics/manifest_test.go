@@ -130,3 +130,43 @@ func TestManifestCorruptionCaught(t *testing.T) {
 		t.Fatalf("regression does not name total_cycles: %+v", res.Regressions)
 	}
 }
+
+// TestManifestWallMetrics pins the wall-domain opt-in: FinalizeWall records
+// Wall samples under wall_metrics, while manifests that never call it must
+// not carry the field at all — that omission is what keeps the simulator
+// CLIs' manifests byte-identical at any -j.
+func TestManifestWallMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cycle := reg.NewGauge("test_points", "cycle-domain sample", metrics.Cycle)
+	wall := reg.NewGauge("test_wall_ms", "wall-domain sample", metrics.Wall)
+	cycle.Set(7)
+	wall.Set(1234)
+
+	withoutWall := metrics.NewManifest("test")
+	withoutWall.Finalize(reg)
+	var buf bytes.Buffer
+	if err := withoutWall.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "wall_metrics") {
+		t.Errorf("manifest without FinalizeWall carries wall_metrics:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "test_points") {
+		t.Errorf("cycle sample missing from manifest:\n%s", buf.String())
+	}
+
+	withWall := metrics.NewManifest("test")
+	withWall.Finalize(reg)
+	withWall.FinalizeWall(reg)
+	buf.Reset()
+	if err := withWall.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wall_metrics") || !strings.Contains(buf.String(), "test_wall_ms") {
+		t.Errorf("FinalizeWall did not record the wall sample:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), `"test_wall_ms"`) && strings.Contains(buf.String(), `"metrics": [`) &&
+		strings.Index(buf.String(), "test_wall_ms") < strings.Index(buf.String(), "wall_metrics") {
+		t.Errorf("wall sample leaked into the cycle-domain metrics field:\n%s", buf.String())
+	}
+}

@@ -103,14 +103,16 @@ func Map[T, R any](items []T, fn func(T) R) []R {
 // sink and a latency observation into the metrics registry. With tracing
 // off and metrics timing off it is a plain call plus one atomic counter
 // add: no time reads.
+//
+//lint:walldomain task spans measure host execution; only trace/metrics outputs see them
 func runTask[T, R any](sink *trace.Sink, worker, index int, item T, fn func(T) R) R {
 	mTasks.Inc()
 	if sink == nil && !metrics.TimingEnabled() {
 		return fn(item)
 	}
-	begin := time.Now() //lint:wallclock runner task spans measure host execution, not simulated cycles
+	begin := time.Now()
 	r := fn(item)
-	end := time.Now() //lint:wallclock span end timestamp, same wall-clock domain as begin
+	end := time.Now()
 	if sink != nil {
 		sink.Task(worker, index, begin, end)
 	}
@@ -183,14 +185,16 @@ func MapErr[T, R any](ctx context.Context, items []T, fn func(context.Context, T
 
 // runTaskErr is runTask for the error-propagating fan-out. Failed tasks
 // still get a span: the trace shows where wall-clock time went either way.
+//
+//lint:walldomain task spans measure host execution; only trace/metrics outputs see them
 func runTaskErr[T, R any](sink *trace.Sink, worker, index int, ctx context.Context, item T, fn func(context.Context, T) (R, error)) (R, error) {
 	mTasks.Inc()
 	if sink == nil && !metrics.TimingEnabled() {
 		return fn(ctx, item)
 	}
-	begin := time.Now() //lint:wallclock runner task spans measure host execution, not simulated cycles
+	begin := time.Now()
 	r, err := fn(ctx, item)
-	end := time.Now() //lint:wallclock span end timestamp, same wall-clock domain as begin
+	end := time.Now()
 	if sink != nil {
 		sink.Task(worker, index, begin, end)
 	}

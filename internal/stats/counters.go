@@ -11,6 +11,8 @@ import (
 // counters are lock-free so hot simulation paths can bump them from many
 // goroutines; construct with NewCacheCounters to register the cache in the
 // process-wide report.
+//
+//lint:registered
 type CacheCounters struct {
 	name   string
 	hits   atomic.Int64

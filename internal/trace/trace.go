@@ -66,8 +66,10 @@ type Sink struct {
 
 // New creates an empty sink. The wall-clock origin of runner-task events is
 // the moment of creation.
+//
+//lint:walldomain the sink's wall-clock origin feeds only the emitted trace file
 func New() *Sink {
-	return &Sink{start: time.Now(), nextPID: 1} //lint:wallclock the sink's wall-clock origin for runner-task spans
+	return &Sink{start: time.Now(), nextPID: 1}
 }
 
 // Enabled reports whether the sink collects events.
@@ -111,6 +113,8 @@ func (s *Sink) Task(worker, index int, begin, end time.Time) {
 // MemoHit records that a memoization cache served a simulation result
 // instead of re-executing it (the span the trace would otherwise show).
 // label names what was served (typically "model/layer").
+//
+//lint:walldomain memo-hit timestamps are wall-clock events on the emitted trace only
 func (s *Sink) MemoHit(cache, label string) {
 	if s == nil {
 		return
@@ -118,7 +122,7 @@ func (s *Sink) MemoHit(cache, label string) {
 	ev := wallEvent{
 		kind: wallMemoHit,
 		name: cache + ":" + label,
-		ts:   time.Since(s.start).Microseconds(), //lint:wallclock memo hits are wall-clock events on the global track
+		ts:   time.Since(s.start).Microseconds(),
 	}
 	s.mu.Lock()
 	s.wall = append(s.wall, ev)

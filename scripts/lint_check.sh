@@ -1,0 +1,79 @@
+#!/bin/sh
+# lint-check: the static-analysis gate's gate, run by `make lint-check` as
+# part of `make ci`. `make lint` proves the tree is clean; this script
+# proves the detflow analyzer has teeth, the same way perf_check.sh proves
+# the perf gate does:
+#
+#   1. igolint must lint its own implementation: an explicit run over the
+#      internal/lint packages (the analyzers, the loader, the analysis
+#      mirror) must come back clean — the determinism invariants apply to
+#      the tool that enforces them;
+#   2. a pristine copy of the tree must lint clean, so any failure below is
+#      attributable to the injection;
+#   3. an injected two-hop wall-clock leak — a time.Now helper planted in
+#      internal/schedule, called from a new entry point in internal/sim —
+#      must make igolint exit non-zero AND report the full interprocedural
+#      chain (sim entry → schedule helper → time.Now), proving the taint
+#      propagates across packages and the diagnostic names every hop.
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+# 1. Self-lint: the analyzers are cycle-adjacent tooling and must satisfy
+# their own invariants.
+for p in internal/lint internal/lint/analysis internal/lint/analysistest \
+	internal/lint/loader internal/lint/wallclock internal/lint/ctrreg \
+	internal/lint/detmap internal/lint/cycleint internal/lint/detflow; do
+	pkgs="${pkgs:-} $p"
+done
+if $GO run ./cmd/igolint $pkgs > /dev/null; then
+	echo "lint-check: internal/lint lints itself clean"
+else
+	echo "lint-check: FAIL: igolint reports findings in internal/lint" >&2
+	exit 1
+fi
+
+# 2. Pristine copy lints clean (baseline for the injection).
+mkdir "$dir/repo"
+tar -C . --exclude='.git' --exclude='results' --exclude='coverage.out' \
+	-cf - . | tar -C "$dir/repo" -xf -
+if (cd "$dir/repo" && $GO run ./cmd/igolint ./... > /dev/null); then
+	echo "lint-check: pristine copy lints clean"
+else
+	echo "lint-check: FAIL: pristine copy does not lint clean" >&2
+	exit 1
+fi
+
+# 3. Gate-has-teeth: plant the two-hop leak and require the full chain.
+cat > "$dir/repo/internal/schedule/zz_injected_leak.go" <<'EOF'
+package schedule
+
+import "time"
+
+// InjectedStamp is lint_check.sh's planted leak: a wall-clock read one
+// hop below the cycle-domain entry planted in internal/sim.
+func InjectedStamp() int64 { return time.Now().UnixNano() }
+EOF
+cat > "$dir/repo/internal/sim/zz_injected_leak.go" <<'EOF'
+package sim
+
+import "igosim/internal/schedule"
+
+// InjectedTick is lint_check.sh's planted cycle-domain entry: it reaches
+// the clock only through schedule.InjectedStamp, so the finding must
+// carry the full two-hop chain.
+func InjectedTick() int64 { return schedule.InjectedStamp() }
+EOF
+if out=$(cd "$dir/repo" && $GO run ./cmd/igolint ./... 2>&1); then
+	echo "lint-check: FAIL: injected two-hop time.Now leak passed the gate" >&2
+	exit 1
+fi
+chain='sim.InjectedTick → schedule.InjectedStamp → time.Now'
+if ! printf '%s\n' "$out" | grep -F -q "$chain"; then
+	echo "lint-check: FAIL: finding does not carry the full call chain '$chain':" >&2
+	printf '%s\n' "$out" >&2
+	exit 1
+fi
+echo "lint-check: injected two-hop leak caught with the full call chain"
