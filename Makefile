@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json vet lint lint-sarif lint-check ci golden trace-check fuzz-short cover sweep-check perf-check manifest-check
+.PHONY: build test race bench bench-json vet lint lint-sarif lint-check ci golden trace-check fuzz-short cover sweep-check perf-check manifest-check serve-check
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ bench:
 # artifacts; quote numbers from a longer run (`make bench-json BENCHTIME=2s`).
 BENCHTIME ?= 1x
 bench-json:
-	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_compiled.json -sweep-o BENCH_sweep.json
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_compiled.json -sweep-o BENCH_sweep.json -serve-o BENCH_serve.json
 
 # Observability gate: the disabled trace path must not allocate or change
 # results, and the Chrome-trace export must match the goldens byte for byte
@@ -90,6 +90,15 @@ sweep-check:
 perf-check:
 	sh scripts/perf_check.sh
 
+# Simulation-service gate (DESIGN.md §3k): the serve + loadtest suites
+# under -race (body determinism across -j1/-j8 replay, error paths, cache
+# semantics), then a fresh fixed-seed load test igostat-diffed against
+# BENCH_serve.json — exact counts and the response-body digest at zero
+# tolerance, latency/throughput leaves wall-open — plus an injected p99
+# regression that must fail the gate by name.
+serve-check:
+	sh scripts/serve_check.sh
+
 # Manifest determinism gate (DESIGN.md §3i): igosim -manifest must write
 # byte-identical files at -j 1 and -j 8, igostat must self-diff clean, and
 # a one-cycle corruption must be caught by name.
@@ -103,7 +112,7 @@ cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-ci: vet build race bench perf-check bench-json trace-check lint lint-check manifest-check sweep-check cover fuzz-short
+ci: vet build race bench perf-check serve-check bench-json trace-check lint lint-check manifest-check sweep-check cover fuzz-short
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

@@ -19,11 +19,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"testing"
 	"time"
 
 	"igosim/internal/bench"
+	"igosim/internal/core"
+	"igosim/internal/serve"
+	"igosim/internal/serve/loadtest"
 	"igosim/internal/sim"
 )
 
@@ -44,11 +48,25 @@ type report struct {
 func main() {
 	testing.Init()
 	benchtime := flag.String("benchtime", "1x", "per-benchmark budget, testing syntax (duration or Nx iterations)")
-	out := flag.String("o", "BENCH_compiled.json", "output path")
+	out := flag.String("o", "BENCH_compiled.json", "output path (empty = skip the engine benchmarks)")
 	sweepOut := flag.String("sweep-o", "BENCH_sweep.json", "sweep summary output path (empty = skip the sweep)")
+	serveOut := flag.String("serve-o", "BENCH_serve.json", "serve load-test output path (empty = skip the load test)")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fatal(fmt.Errorf("bad -benchtime %q: %w", *benchtime, err))
+	}
+	if *out == "" {
+		if *sweepOut != "" {
+			if err := writeSweep(*sweepOut); err != nil {
+				fatal(err)
+			}
+		}
+		if *serveOut != "" {
+			if err := writeServe(*serveOut); err != nil {
+				fatal(err)
+			}
+		}
+		return
 	}
 
 	w := bench.ResNet50Backward()
@@ -96,6 +114,45 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *serveOut != "" {
+		if err := writeServe(*serveOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeServe drives an in-process igoserved instance with the canonical
+// fixed-seed load test and records the result — exact counts and the
+// response-body digest (gated at zero tolerance) plus p50/p99 latency and
+// throughput (gated loosely as wall time) — tracked across PRs as
+// BENCH_serve.json.
+//
+//lint:walldomain client-observed latency and throughput are the measurement itself
+func writeServe(path string) error {
+	core.ResetCaches()
+	defer core.ResetCaches()
+	s := serve.New(serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	res, err := loadtest.Run(loadtest.Options{URL: ts.URL, Client: ts.Client()})
+	if err != nil {
+		return err
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("serve load test: %d of %d requests failed", res.Errors, res.Requests)
+	}
+	fmt.Printf("%-28s %6d requests %4d distinct %5.1f%% hit rate  p50 %.0fus  p99 %.0fus  %.1f req/s\n",
+		"ServeLoadtest", res.Requests, res.DistinctKeys, 100*res.HitRate,
+		res.P50Micros, res.P99Micros, res.RPS)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeSweep runs the canonical pruned design-space sweep once and records

@@ -112,5 +112,6 @@ func ResetCaches() {
 	ordersCache.Reset()
 	ilvCache.Reset()
 	reCache.Reset()
+	progCache.Reset()
 	stats.ResetAllCacheCounters()
 }

@@ -165,8 +165,21 @@ func RearrangedWithOrder(cfg config.NPU, p schedule.TileParams, o Order) (schedu
 // the empirically best plan.)
 func RunBackward(cfg config.NPU, opts sim.Options, p schedule.TileParams, pol Policy, skipDX bool) LayerOutcome {
 	if pol != PolPartition || skipDX {
-		kernels, order := BackwardKernels(cfg, p, pol, skipDX)
-		out := outcomeFromResult(sim.RunSchedules(cfg, opts, kernels...))
+		var out LayerOutcome
+		var order Order
+		if useProgramCache(opts) {
+			// Untraced compiled runs replay a shared pre-lowered program:
+			// emission, tuning lookups and interning happen once per
+			// (shape, policy, tuned-candidate) point, then every layer and
+			// every hardware timing that maps to it just executes.
+			prog, o := backwardProgram(cfg, p, pol, skipDX)
+			out = outcomeFromResult(sim.RunProgram(cfg, opts, prog))
+			order = o
+		} else {
+			kernels, o := BackwardKernels(cfg, p, pol, skipDX)
+			out = outcomeFromResult(sim.RunSchedules(cfg, opts, kernels...))
+			order = o
+		}
 		out.Dims = p.Dims
 		out.Policy = pol
 		out.Order = order
@@ -242,7 +255,12 @@ func RunBackwardOrder(cfg config.NPU, opts sim.Options, p schedule.TileParams, o
 // the tracing fields of opts apply; schedule-shaping options are ignored.
 func RunForward(cfg config.NPU, opts sim.Options, p schedule.TileParams) LayerOutcome {
 	fopts := sim.Options{Trace: opts.Trace, TraceLabel: opts.TraceLabel}
-	out := outcomeFromResult(sim.RunSchedules(cfg, fopts, schedule.Forward(p)))
+	var out LayerOutcome
+	if useProgramCache(fopts) {
+		out = outcomeFromResult(sim.RunProgram(cfg, fopts, forwardProgram(p)))
+	} else {
+		out = outcomeFromResult(sim.RunSchedules(cfg, fopts, schedule.Forward(p)))
+	}
 	out.Dims = p.Dims
 	out.Parts = 1
 	return out

@@ -72,6 +72,9 @@ var wallLeaves = map[string]bool{
 	"speedup":        true,
 	"allocs_ratio":   true,
 	"seconds":        true,
+	"p50_us":         true,
+	"p99_us":         true,
+	"rps":            true,
 }
 
 // higherBetter are leaf field names where an increase is an improvement;
@@ -84,6 +87,7 @@ var higherBetter = map[string]bool{
 	"reduction":       true,
 	"pruned_fraction": true,
 	"allocs_ratio":    true,
+	"rps":             true,
 }
 
 // Regression is one gate violation.

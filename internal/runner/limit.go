@@ -1,0 +1,44 @@
+package runner
+
+import "context"
+
+// Limiter bounds how many units of simulation work run concurrently. The
+// worker pool (Map/MapErr) already bounds fan-out *within* one top-level
+// call; a server handling many independent requests needs the same bound
+// *across* calls, or N concurrent requests each fanning out -j wide would
+// oversubscribe the host by N×. A Limiter is that cross-call admission
+// gate: callers acquire one slot per simulation they are about to run.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter creates a limiter admitting up to n concurrent holders; n <= 0
+// uses the runner's current parallelism.
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = Parallelism()
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the limiter's slot count.
+func (l *Limiter) Cap() int { return cap(l.sem) }
+
+// Acquire blocks until a slot is free or ctx is done, reporting ctx.Err()
+// in the latter case. Every successful Acquire must be paired with Release.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (l *Limiter) Release() { <-l.sem }

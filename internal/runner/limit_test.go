@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	l := NewLimiter(2)
+	if l.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", l.Cap())
+	}
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third acquire must block until a release, and must respect its
+	// context while waiting.
+	short, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(short); err == nil {
+		t.Fatal("third Acquire succeeded with both slots held")
+	} else if err != context.DeadlineExceeded {
+		t.Fatalf("blocked Acquire returned %v, want DeadlineExceeded", err)
+	}
+
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	l.Release()
+	l.Release()
+}
+
+func TestLimiterDefaultsToParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if got := NewLimiter(0).Cap(); got != 3 {
+		t.Errorf("NewLimiter(0).Cap() = %d, want 3", got)
+	}
+	if got := NewLimiter(5).Cap(); got != 5 {
+		t.Errorf("NewLimiter(5).Cap() = %d, want 5", got)
+	}
+}

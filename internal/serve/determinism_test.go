@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"igosim/internal/core"
+	"igosim/internal/proptest"
+	"igosim/internal/runner"
+)
+
+// genRequest draws one valid randomized request. The space is kept cheap
+// (MLP-heavy models on the small NPU) but covers both model zoos, every
+// policy, the optional baseline/energy sections and — single-core only —
+// the trace report. It mirrors loadtest.GenRequest draw for draw (the loadtest
+// package cannot be imported from here without a cycle); keep the two in
+// sync so the race suite and the BENCH_serve gate exercise one request
+// population.
+func genRequest(src *proptest.Source) Request {
+	models := []string{"ncf", "dlrm", "mob"}
+	policies := []string{"baseline", "interleave", "rearrange", "partition"}
+	suites := []string{"edge", "server"}
+	req := Request{
+		Workload: models[src.IntRange(0, len(models)-1)],
+		Suite:    suites[src.IntRange(0, len(suites)-1)],
+		Policy:   policies[src.IntRange(0, len(policies)-1)],
+		NPU:      "small",
+		Batch:    2 * src.IntRange(1, 2),
+		Options: RequestOptions{
+			Baseline: src.IntRange(0, 1) == 1,
+			Energy:   src.IntRange(0, 1) == 1,
+		},
+	}
+	if src.IntRange(0, 7) == 0 {
+		req.Options.Report = true // small preset is single-core
+	}
+	return req
+}
+
+// post sends one JSON POST and returns status, body and cache header.
+func post(t *testing.T, client *http.Client, url string, v any) (int, []byte, string) {
+	t.Helper()
+	payload, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("X-Igosim-Cache")
+}
+
+// newTestServer starts a fresh live server over a cold simulator.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	core.ResetCaches()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(core.ResetCaches)
+	return s, ts
+}
+
+// TestResponseDeterminism is the service-level determinism gate: the same
+// randomized request stream replayed sequentially (-j1) and with 8
+// concurrent clients against a live server must produce byte-identical
+// response bodies per request — regardless of cache state, arrival order
+// or which worker computed what. Run under -race this also shakes out
+// data races in the cache and singleflight paths.
+func TestResponseDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a few dozen distinct layer points")
+	}
+	const n = 200
+	src := proptest.NewSource(0x1905)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = genRequest(src)
+	}
+
+	run := func(parallel int) [][]byte {
+		restore := runner.SetParallelism(parallel)
+		defer runner.SetParallelism(restore)
+		_, ts := newTestServer(t, Options{})
+		bodies := make([][]byte, n)
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					status, body, _ := post(t, ts.Client(), ts.URL+"/simulate", reqs[i])
+					if status != http.StatusOK {
+						t.Errorf("request %d: status %d: %s", i, status, body)
+					}
+					bodies[i] = body
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		return bodies
+	}
+
+	seq := run(1)
+	conc := run(8)
+	for i := range seq {
+		if !bytes.Equal(seq[i], conc[i]) {
+			t.Fatalf("request %d: body differs between -j1 and -j8 replay\nreq:  %+v\n-j1:  %s\n-j8:  %s",
+				i, reqs[i], seq[i], conc[i])
+		}
+	}
+}
+
+// TestBatchMatchesSimulate proves /batch members carry the exact /simulate
+// bodies, in request order.
+func TestBatchMatchesSimulate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates several model points")
+	}
+	src := proptest.NewSource(7)
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		reqs[i] = genRequest(src)
+		reqs[i].Options.Report = false
+	}
+	_, ts := newTestServer(t, Options{})
+
+	status, body, _ := post(t, ts.Client(), ts.URL+"/batch", reqs)
+	if status != http.StatusOK {
+		t.Fatalf("/batch: status %d: %s", status, body)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatalf("/batch body: %v", err)
+	}
+	if len(batch.Results) != len(reqs) {
+		t.Fatalf("/batch returned %d results for %d requests", len(batch.Results), len(reqs))
+	}
+	for i, req := range reqs {
+		status, single, _ := post(t, ts.Client(), ts.URL+"/simulate", req)
+		if status != http.StatusOK {
+			t.Fatalf("/simulate %d: status %d: %s", i, status, single)
+		}
+		if batch.Results[i].Error != nil {
+			t.Fatalf("/batch member %d errored: %v", i, batch.Results[i].Error)
+		}
+		if !bytes.Equal(bytes.TrimSpace(batch.Results[i].Result), bytes.TrimSpace(single)) {
+			t.Errorf("member %d: /batch body differs from /simulate:\nbatch:    %s\nsimulate: %s",
+				i, batch.Results[i].Result, single)
+		}
+	}
+}
+
+// TestEquivalentSpellingsShareFingerprint proves canonicalization: default
+// and explicit spellings of the same simulation share one fingerprint and
+// therefore one cache entry.
+func TestEquivalentSpellingsShareFingerprint(t *testing.T) {
+	a, e := canonicalize(Request{Workload: "ncf", Suite: "edge", NPU: "small"})
+	if e != nil {
+		t.Fatal(e)
+	}
+	b, e := canonicalize(Request{Workload: "NCF-recommendation", Suite: "small", Policy: "+datapartitioning", NPU: "edge"})
+	if e != nil {
+		t.Fatal(e)
+	}
+	fa, _ := a.fingerprint()
+	fb, _ := b.fingerprint()
+	if fa != fb {
+		t.Errorf("equivalent spellings canonicalized to distinct fingerprints:\n%s\n%s", fa, fb)
+	}
+
+	c, e := canonicalize(Request{Workload: "ncf", Suite: "edge", NPU: "small", Policy: "baseline"})
+	if e != nil {
+		t.Fatal(e)
+	}
+	fc, _ := c.fingerprint()
+	if fc == fa {
+		t.Error("different policies share a fingerprint")
+	}
+}

@@ -1,0 +1,104 @@
+package loadtest
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"igosim/internal/core"
+	"igosim/internal/serve"
+)
+
+// runOnce drives a fresh server (cold simulator caches) with the canonical
+// stream and returns the run plus the server's own cache counters.
+func runOnce(t *testing.T, workers, n int) (Result, *serve.Server) {
+	t.Helper()
+	core.ResetCaches()
+	s := serve.New(serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(core.ResetCaches)
+	res, err := Run(Options{URL: ts.URL, Client: ts.Client(), Requests: n, Workers: workers})
+	if err != nil {
+		t.Fatalf("loadtest: %v", err)
+	}
+	return res, s
+}
+
+// TestLoadtestDeterministic is the gate behind BENCH_serve.json's exact
+// leaves: the Cycle half of the result — request/distinct/error counts,
+// body digest, derived hit rate — must be identical between a sequential
+// and a heavily concurrent run against fresh servers.
+func TestLoadtestDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a few dozen distinct simulations twice")
+	}
+	const n = 80
+	seq, _ := runOnce(t, 1, n)
+	conc, _ := runOnce(t, 8, n)
+
+	if seq.Errors != 0 || conc.Errors != 0 {
+		t.Fatalf("errors: %d sequential, %d concurrent, want 0", seq.Errors, conc.Errors)
+	}
+	if seq.BodyDigest != conc.BodyDigest {
+		t.Errorf("body digest differs between 1 and 8 workers:\n%s\n%s", seq.BodyDigest, conc.BodyDigest)
+	}
+	if seq.DistinctKeys != conc.DistinctKeys || seq.Requests != conc.Requests {
+		t.Errorf("stream shape differs: %d/%d vs %d/%d distinct/requests",
+			seq.DistinctKeys, seq.Requests, conc.DistinctKeys, conc.Requests)
+	}
+	if seq.HitRate != conc.HitRate {
+		t.Errorf("hit rate differs: %v vs %v", seq.HitRate, conc.HitRate)
+	}
+	if seq.DistinctKeys == 0 || seq.DistinctKeys == n {
+		t.Errorf("degenerate stream: %d distinct keys of %d requests", seq.DistinctKeys, n)
+	}
+}
+
+// TestDerivedHitRateMatchesCounters proves the "derived, not measured"
+// claim: the server computes each distinct fingerprint exactly once, so
+// its miss counter equals the stream's distinct-key count even under
+// concurrency.
+func TestDerivedHitRateMatchesCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a few dozen distinct simulations")
+	}
+	const n = 80
+	res, s := runOnce(t, 8, n)
+	snap := s.CacheStats()
+	if snap.Misses != int64(res.DistinctKeys) {
+		t.Errorf("server misses = %d, want %d (one compute per distinct fingerprint)",
+			snap.Misses, res.DistinctKeys)
+	}
+	if snap.Lookups() != int64(res.Requests) {
+		t.Errorf("server lookups = %d, want %d", snap.Lookups(), res.Requests)
+	}
+}
+
+// TestStreamIsStable pins the canonical stream: same seed, same requests,
+// same fingerprints — and distinct fingerprints only for distinct
+// simulations.
+func TestStreamIsStable(t *testing.T) {
+	reqs1, fps1, err := Stream(0x1905, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs2, fps2, err := Stream(0x1905, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs1 {
+		if reqs1[i] != reqs2[i] || fps1[i] != fps2[i] {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+	// A longer stream extends, never rewrites, a shorter one.
+	_, fps3, err := Stream(0x1905, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fps1 {
+		if fps3[i] != fps1[i] {
+			t.Fatalf("request %d differs between stream lengths 50 and 60", i)
+		}
+	}
+}

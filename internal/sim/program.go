@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"igosim/internal/config"
+	"igosim/internal/schedule"
+)
+
+// Retained compiled programs (DESIGN.md §3k). The pooled compiled path
+// (compiled.go) rebuilds its program from the schedule on every call and
+// deliberately keeps no reference to it — the right trade for one-shot
+// experiment grids. Long-running callers (the serving layer's shared
+// program cache) instead need to pay schedule emission and interning once
+// and replay the artifact many times, possibly under different DRAM/clock
+// timings: CompileSchedules produces a self-contained Program safe to
+// retain and share across goroutines, and RunProgram executes one against
+// a pooled engine exactly as RunSchedules would have.
+
+// CompileSchedules lowers the given kernels into a retained, immutable
+// compiled program. Unlike the internal pooled path, the returned Program
+// owns its code, kernel and tile-table storage: callers may cache it
+// indefinitely and execute it concurrently from many goroutines (execution
+// state lives in the engine, never in the program).
+func CompileSchedules(scheds ...schedule.Schedule) *schedule.Program {
+	comp := schedule.NewCompiler()
+	var code []schedule.CompiledOp
+	kernels := make([]schedule.Kernel, 0, len(scheds))
+	for _, s := range scheds {
+		start := len(code)
+		for i := range s.Ops {
+			code = append(code, comp.Lower(&s.Ops[i]))
+		}
+		kernels = append(kernels, schedule.Kernel{Name: s.Name, Start: start, End: len(code)})
+	}
+	return &schedule.Program{Code: code, Kernels: kernels, Table: comp.Table()}
+}
+
+// RunProgram executes a retained compiled program on a fresh single-core
+// engine, flushing the scratchpad at each kernel boundary — the compiled
+// twin of RunSchedules for a program built once with CompileSchedules. The
+// program is read-only here; concurrent RunProgram calls on the same
+// program are safe.
+func RunProgram(cfg config.NPU, opts Options, prog *schedule.Program) Result {
+	cr := compiledPool.Get()
+	e := &cr.eng
+	e.Init(cfg, opts)
+	e.RunProgram(prog)
+	res := e.Result()
+	e.prog, e.keys, e.tr = nil, nil, nil // don't retain the program view or sink
+	compiledPool.Put(cr)
+	countPass(res)
+	return res
+}
+
+// CompiledResolved reports whether these options resolve to the compiled
+// executor (following the process-wide default when Compiled is
+// EngineDefault). Callers that maintain compiled-program caches use it to
+// decide whether a cached program would actually be executed.
+func (o Options) CompiledResolved() bool { return o.useCompiled() }

@@ -14,9 +14,11 @@ import (
 //
 //lint:registered
 type CacheCounters struct {
-	name   string
-	hits   atomic.Int64
-	misses atomic.Int64
+	name      string
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	coalesced atomic.Int64
 	// sizer, when set, reports the cache's current entry count. Guarded by
 	// sizerMu: SetSizer races with Snapshot only at registration time, but
 	// the race detector is right that it is a race.
@@ -42,15 +44,30 @@ func (c *CacheCounters) Hit() { c.hits.Add(1) }
 // Miss records one cache miss.
 func (c *CacheCounters) Miss() { c.misses.Add(1) }
 
+// Eviction records one entry evicted by a bounded cache's replacement
+// policy. Unbounded memo caches never call it.
+func (c *CacheCounters) Eviction() { c.evictions.Add(1) }
+
+// Coalesced records one lookup that neither hit nor missed: it joined an
+// in-flight computation of the same key (singleflight deduplication) and
+// waited for that result instead of computing its own.
+func (c *CacheCounters) Coalesced() { c.coalesced.Add(1) }
+
 // Reset zeroes the counters.
 func (c *CacheCounters) Reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.coalesced.Store(0)
 }
 
 // Snapshot returns the current counter values.
 func (c *CacheCounters) Snapshot() CacheSnapshot {
-	s := CacheSnapshot{Name: c.name, Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: -1}
+	s := CacheSnapshot{
+		Name: c.name, Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Evictions: c.evictions.Load(), Coalesced: c.coalesced.Load(),
+		Entries: -1,
+	}
 	c.sizerMu.Lock()
 	sizer := c.sizer
 	c.sizerMu.Unlock()
@@ -63,14 +80,16 @@ func (c *CacheCounters) Snapshot() CacheSnapshot {
 // CacheSnapshot is one cache's counters at a point in time. Entries is the
 // current entry count, or -1 when the cache installed no sizer.
 type CacheSnapshot struct {
-	Name    string
-	Hits    int64
-	Misses  int64
-	Entries int64
+	Name      string
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Coalesced int64
+	Entries   int64
 }
 
-// Lookups returns the total number of lookups.
-func (s CacheSnapshot) Lookups() int64 { return s.Hits + s.Misses }
+// Lookups returns the total number of lookups, including coalesced ones.
+func (s CacheSnapshot) Lookups() int64 { return s.Hits + s.Misses + s.Coalesced }
 
 // HitRate returns the fraction of lookups that hit (0 with no lookups).
 func (s CacheSnapshot) HitRate() float64 {

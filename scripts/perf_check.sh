@@ -25,10 +25,10 @@ GO=${GO:-go}
 dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT
 
-$GO run ./cmd/benchjson -benchtime 1x -o "$dir/BENCH_compiled.json" -sweep-o "$dir/BENCH_sweep.json" > /dev/null
+$GO run ./cmd/benchjson -benchtime 1x -o "$dir/BENCH_compiled.json" -sweep-o "$dir/BENCH_sweep.json" -serve-o "$dir/BENCH_serve.json" > /dev/null
 
 TOL='wall=100000%,allocs_op=0.1%'
-for f in BENCH_compiled.json BENCH_sweep.json; do
+for f in BENCH_compiled.json BENCH_sweep.json BENCH_serve.json; do
     if $GO run ./cmd/igostat diff "$f" "$dir/$f" -tol "$TOL"; then
         echo "perf-check: $f matches the committed baseline"
     else

@@ -1,0 +1,53 @@
+#!/bin/sh
+# serve-check: the simulation-service gate, run by `make serve-check` as
+# part of `make ci`. Three stages:
+#
+#   1. The serve + loadtest test suites under -race: response-body
+#      determinism across -j1/-j8 replay, error paths, cache semantics
+#      (LRU bound, doorkeeper admission, singleflight collapse), client
+#      disconnects, draining.
+#   2. Regenerate BENCH_serve.json into a temp dir with the canonical
+#      fixed-seed load test and igostat-diff it against the committed
+#      baseline. The Cycle half (requests, distinct_keys, errors,
+#      body_digest, hit_rate) gates at exactly zero — any drift in a
+#      response body anywhere in the request space changes the digest and
+#      fails here. The Wall half (p50_us, p99_us, rps, wall_seconds) is
+#      tolerance-open: shared CI hosts are noise.
+#   3. Gate-has-teeth: a copy with p99_us multiplied 1000x must fail an
+#      igostat diff run at a finite wall tolerance (50%), naming p99_us —
+#      proving the latency leaves are wired into the gate, not ignored.
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+$GO test -race ./internal/serve/ ./internal/serve/loadtest/ -count=1
+echo "serve-check: race suite passed"
+
+$GO run ./cmd/benchjson -o '' -sweep-o '' -serve-o "$dir/BENCH_serve.json" > /dev/null
+
+TOL='wall=100000%'
+if $GO run ./cmd/igostat diff BENCH_serve.json "$dir/BENCH_serve.json" -tol "$TOL"; then
+    echo "serve-check: BENCH_serve.json matches the committed baseline"
+else
+    echo "serve-check: FAIL: serve results drifted from the committed baseline" >&2
+    echo "serve-check: (a body_digest change means some response body changed; regenerate" >&2
+    echo "serve-check: the baseline deliberately with 'make bench-json' in the same change)" >&2
+    exit 1
+fi
+
+# Gate-has-teeth: inflate p99 1000x in a copy of the fresh artifact and
+# require igostat to reject it at a finite wall tolerance, naming p99_us.
+awk '!done && /"p99_us"/ { sub(/: [0-9.]+/, sprintf(": %d", 1000 * $2)); done=1 } { print }' \
+    "$dir/BENCH_serve.json" > "$dir/BENCH_bad.json"
+if out=$($GO run ./cmd/igostat diff "$dir/BENCH_serve.json" "$dir/BENCH_bad.json" -tol 'wall=50%' 2>&1); then
+    echo "serve-check: FAIL: injected p99 regression passed the gate" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$out" | grep -q 'p99_us'; then
+    echo "serve-check: FAIL: regression report does not name p99_us:" >&2
+    printf '%s\n' "$out" >&2
+    exit 1
+fi
+echo "serve-check: injected p99 regression caught and named"
