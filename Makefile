@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json vet lint lint-sarif lint-check ci golden trace-check fuzz-short cover sweep-check perf-check manifest-check serve-check
+.PHONY: build test race bench bench-json vet lint lint-sarif lint-check ci golden trace-check fuzz-short cover sweep-check replay-check perf-check manifest-check serve-check
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,7 @@ fuzz-short:
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzTilingCounts$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzSPMResidency$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzCompiledEngine$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/proptest/ -run '^$$' -fuzz '^FuzzResolvedReplay$$' -fuzztime $(FUZZTIME)
 
 # Design-space exploration gate (DESIGN.md §3h): internal/dse's unit and
 # property tests, then an end-to-end CLI check that a pruned sweep's
@@ -80,6 +81,13 @@ fuzz-short:
 sweep-check:
 	$(GO) test ./internal/dse/ ./internal/analytic/ -count=1
 	sh scripts/sweep_check.sh
+
+# Two-phase executor gate (DESIGN.md §3l): the pruned, residency-cached
+# canonical sweep must be byte-identical across -j 1/-j 8 and to an
+# unpruned engine-only sweep (-residency-cache 0), and an injected
+# one-cycle replay skew must fail the comparison naming the CSV column.
+replay-check:
+	sh scripts/replay_check.sh
 
 # Perf-regression gate (DESIGN.md §3i): regenerate the BENCH_*.json
 # artifacts into a temp dir and igostat-diff them against the committed
@@ -112,7 +120,7 @@ cover:
 	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-ci: vet build race bench perf-check serve-check bench-json trace-check lint lint-check manifest-check sweep-check cover fuzz-short
+ci: vet build race bench perf-check serve-check bench-json trace-check lint lint-check manifest-check sweep-check replay-check cover fuzz-short
 
 # Full-suite determinism check: regenerates every figure twice (cold at
 # -j 8, warm at -j 1) and demands byte-identical reports. Takes minutes.

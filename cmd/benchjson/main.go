@@ -141,8 +141,9 @@ func writeServe(path string) error {
 	if res.Errors > 0 {
 		return fmt.Errorf("serve load test: %d of %d requests failed", res.Errors, res.Requests)
 	}
-	fmt.Printf("%-28s %6d requests %4d distinct %5.1f%% hit rate  p50 %.0fus  p99 %.0fus  %.1f req/s\n",
-		"ServeLoadtest", res.Requests, res.DistinctKeys, 100*res.HitRate,
+	res.ResidencyHitRate = sim.ResolvedCacheStats().HitRate()
+	fmt.Printf("%-28s %6d requests %4d distinct %5.1f%% hit rate %5.1f%% residency  p50 %.0fus  p99 %.0fus  %.1f req/s\n",
+		"ServeLoadtest", res.Requests, res.DistinctKeys, 100*res.HitRate, 100*res.ResidencyHitRate,
 		res.P50Micros, res.P99Micros, res.RPS)
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -171,8 +172,9 @@ func writeSweep(path string) error {
 	if wall > 0 {
 		res.PointsPerSec = float64(res.Points) / wall
 	}
-	fmt.Printf("%-28s %6d points %6d simulated %5.1f%% pruned %8.1f points/s\n",
-		"SweepPruned", res.Points, res.Simulated, 100*res.PrunedFrac, res.PointsPerSec)
+	fmt.Printf("%-28s %6d points %6d simulated %5.1f%% pruned %8.1f points/s  %d resolve %d replay (%.1fx reuse)\n",
+		"SweepPruned", res.Points, res.Simulated, 100*res.PrunedFrac, res.PointsPerSec,
+		res.Resolutions, res.Replays, res.ReuseRatio)
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err

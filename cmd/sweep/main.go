@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"igosim/internal/bench"
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/dse"
@@ -65,6 +66,10 @@ func main() {
 		resume    = flag.Bool("resume", false, "load completed shards from -checkpoint instead of recomputing them")
 		maxShards = flag.Int("max-shards", 0, "stop after N shards (for checkpoint testing; 0 = run all)")
 
+		canonical  = flag.Bool("canonical", false, "sweep the canonical benchmark grid (BERT-tiny on the small NPU, 240 points; overrides the model and axis flags)")
+		resCache   = flag.String("residency-cache", "", "max resolved residency traces retained by the two-phase executor (0 disables replay entirely; empty = engine default)")
+		replaySkew = flag.Int64("replay-skew", 0, "add N cycles to every replayed op's compute time (fault injection for make replay-check; leave at 0)")
+
 		csvPath     = flag.String("csv", "", "write all rows as CSV to this path (\"-\" = stdout)")
 		jobs        = flag.Int("j", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		traceOut    = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file (view in Perfetto)")
@@ -81,6 +86,19 @@ func main() {
 		fatal(err)
 	}
 	sim.SetCompiledDefault(*compiled)
+	if *resCache != "" {
+		// Strict like the integer axes: "512.5 traces" is a config error,
+		// not something to truncate silently.
+		n, err := strconv.Atoi(strings.TrimSpace(*resCache))
+		if err != nil {
+			fatal(fmt.Errorf("-residency-cache: %q is not an integer (this knob takes a whole number of retained traces)", *resCache))
+		}
+		if n < 0 {
+			fatal(fmt.Errorf("-residency-cache: %d is negative (want 0 to disable, or a positive trace count)", n))
+		}
+		sim.SetResidencyCacheCap(n)
+	}
+	sim.SetReplaySkew(*replaySkew)
 	runner.SetParallelism(*jobs)
 	if *metricsAddr != "" {
 		// Live scraping wants latency histograms too, so turn wall-clock
@@ -96,32 +114,41 @@ func main() {
 	}
 	stopTrace := trace.StartCLI(*traceOut, *report)
 
-	model, err := workload.FindModel(*suiteName, *modelName)
-	if err != nil {
-		fatal(err)
+	var space dse.Space
+	if *canonical {
+		// The canonical benchmark grid (BENCH_sweep.json, make
+		// replay-check): one fixed space shared with internal/bench so CLI
+		// checks and recorded numbers describe the same work.
+		space = bench.SweepSpace()
+	} else {
+		model, err := workload.FindModel(*suiteName, *modelName)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := basePreset(*npuName)
+		if err != nil {
+			fatal(err)
+		}
+		space = dse.Space{Model: model, Base: base}
+		if space.BWGBs, err = parseFloatAxis("-bw", *bwList); err != nil {
+			fatal(err)
+		}
+		if space.SPMMiB, err = parseFloatAxis("-spm", *spmList); err != nil {
+			fatal(err)
+		}
+		// Core counts and tiling caps are integer axes: "2.7 cores" is a
+		// config error, not something to truncate silently.
+		if space.Cores, err = parseIntAxis("-cores", *coreList, 1); err != nil {
+			fatal(err)
+		}
+		if space.TkCaps, err = parseIntAxis("-tkcap", *tkList, 0); err != nil {
+			fatal(err)
+		}
+		if space.Policies, err = parsePolicies(*polList); err != nil {
+			fatal(err)
+		}
 	}
-	base, err := basePreset(*npuName)
-	if err != nil {
-		fatal(err)
-	}
-	space := dse.Space{Model: model, Base: base}
-	if space.BWGBs, err = parseFloatAxis("-bw", *bwList); err != nil {
-		fatal(err)
-	}
-	if space.SPMMiB, err = parseFloatAxis("-spm", *spmList); err != nil {
-		fatal(err)
-	}
-	// Core counts and tiling caps are integer axes: "2.7 cores" is a config
-	// error, not something to truncate silently.
-	if space.Cores, err = parseIntAxis("-cores", *coreList, 1); err != nil {
-		fatal(err)
-	}
-	if space.TkCaps, err = parseIntAxis("-tkcap", *tkList, 0); err != nil {
-		fatal(err)
-	}
-	if space.Policies, err = parsePolicies(*polList); err != nil {
-		fatal(err)
-	}
+	model := space.Model
 
 	opts := dse.Options{
 		Prune: *prune, Eps: *eps, EpsRed: *epsRed, Budget: *budget,
@@ -135,14 +162,18 @@ func main() {
 		// counter is Cycle-domain (deterministic), while throughput and the
 		// ETA are wall-clock derivations for the human watching stderr.
 		prunedAt := metrics.Value("dse_points_total", "pruned")
+		phasesAt := sim.ResolvedPhaseStats()
 		opts.Progress = func(done, total int) {
 			pruned := metrics.Value("dse_points_total", "pruned") - prunedAt
+			phases := sim.ResolvedPhaseStats()
 			elapsed := time.Since(start)
 			rate := float64(done) / elapsed.Seconds()
 			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%.1f%%) | pruned %.1f%% | %.0f points/s | ETA %s",
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%.1f%%) | pruned %.1f%% | %d resolve %d replay (%.1f%% residency hits) | %.0f points/s | ETA %s",
 				done, total, 100*float64(done)/float64(total),
-				100*frac(int(pruned), done), rate, eta.Round(time.Second))
+				100*frac(int(pruned), done),
+				phases.Resolutions-phasesAt.Resolutions, phases.Replays-phasesAt.Replays,
+				100*sim.ResolvedCacheStats().HitRate(), rate, eta.Round(time.Second))
 			if done >= total {
 				fmt.Fprintln(os.Stderr)
 			}
@@ -174,6 +205,9 @@ func main() {
 	fmt.Printf("\nsimulated %d | pruned %d (%.1f%%) | skipped %d | over budget %d\n",
 		res.Simulated, res.Pruned, 100*frac(res.Pruned, done), res.Skipped, res.Budgeted)
 	fmt.Printf("wall %.2fs, %.0f points/s\n", wall.Seconds(), float64(done)/wall.Seconds())
+	ph := sim.ResolvedPhaseStats()
+	fmt.Printf("two-phase executor: %d resolutions, %d replays (%.1f%% residency-cache hits)\n",
+		ph.Resolutions, ph.Replays, 100*sim.ResolvedCacheStats().HitRate())
 
 	if len(res.Frontier) > 0 {
 		fmt.Printf("\nPareto frontier (%d points; minimize cycles and traffic, maximize reduction):\n", len(res.Frontier))

@@ -59,6 +59,14 @@ type Floors struct {
 	X, W, Y, DY, DX, DW int64
 	// Exact compute-cycle sums of each kernel's tile-op grid.
 	CompFwd, CompDX, CompDW int64
+	// MinX, MinW, MinDY are the smallest single-tile byte sizes of each
+	// operand tensor over the distinct-tile grid — the least any op's cold
+	// fetch of that operand can move (pipeline-fill term, see passBounds).
+	MinX, MinW, MinDY int64
+	// FillFwd, FillDX, FillDW are the smallest single-op compute-cycle
+	// counts of each kernel's grid — the least compute the pipeline's last
+	// op can add after the final DMA transfer completes.
+	FillFwd, FillDX, FillDW int64
 	// Mt, Kt, Nt are the tile-grid counts; Ops is their product, the op
 	// count of one full GEMM grid.
 	Mt, Kt, Nt, Ops int64
@@ -98,6 +106,30 @@ func tensorFloor(d1, t1, d2, t2 int, tile func(i, j int) schedule.Tile) int64 {
 	return s
 }
 
+// tensorMin returns the smallest distinct-tile byte size of one
+// two-dimensional tensor (the edge tiles are the candidates besides the
+// full tile; every schedule's op fetches whole grid tiles, so no transfer
+// of the tensor moves fewer bytes).
+func tensorMin(d1, t1, d2, t2 int, tile func(i, j int) schedule.Tile) int64 {
+	i1, c1 := tileIndices(d1, t1)
+	i2, c2 := tileIndices(d2, t2)
+	m := int64(-1)
+	for a := range i1 {
+		for b := range i2 {
+			if c1[a] == 0 || c2[b] == 0 {
+				continue
+			}
+			if v := tile(i1[a], i2[b]).Bytes; m < 0 || v < m {
+				m = v
+			}
+		}
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
 // clipSizes returns the distinct tile extents and multiplicities of one
 // dimension (full tiles and the edge tile).
 func clipSizes(dim, tile int) (sz [2]int, cnt [2]int64) {
@@ -131,6 +163,31 @@ func gridCompute(d schedule.Dims, t schedule.Tiling, f func(cm, ck, cn int) int6
 	return s
 }
 
+// gridMin returns the minimum of f over the distinct (cm, ck, cn) extent
+// combinations of the mt x kt x nt tile grid (at most eight).
+func gridMin(d schedule.Dims, t schedule.Tiling, f func(cm, ck, cn int) int64) int64 {
+	ms, mc := clipSizes(d.M, t.Tm)
+	ks, kc := clipSizes(d.K, t.Tk)
+	ns, nc := clipSizes(d.N, t.Tn)
+	m := int64(-1)
+	for a := range ms {
+		for b := range ks {
+			for c := range ns {
+				if mc[a] == 0 || kc[b] == 0 || nc[c] == 0 {
+					continue
+				}
+				if v := f(ms[a], ks[b], ns[c]); m < 0 || v < m {
+					m = v
+				}
+			}
+		}
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
 // FloorsOf computes the layer's distinct-tile byte totals and exact
 // per-kernel compute totals under cfg's array timing. p must be the
 // unpartitioned parent parameters (zero offsets, no partial redirects).
@@ -153,6 +210,12 @@ func FloorsOf(cfg config.NPU, p schedule.TileParams) Floors {
 	f.CompFwd = gridCompute(d, t, func(cm, ck, cn int) int64 { return arr.TileCycles(cm, ck, cn) })
 	f.CompDX = gridCompute(d, t, func(cm, ck, cn int) int64 { return arr.TileCycles(cm, cn, ck) })
 	f.CompDW = gridCompute(d, t, func(cm, ck, cn int) int64 { return arr.TileCycles(ck, cm, cn) })
+	f.MinX = tensorMin(d.M, t.Tm, d.K, t.Tk, func(i, j int) schedule.Tile { return p.XTile(i, j) })
+	f.MinW = tensorMin(d.K, t.Tk, d.N, t.Tn, func(i, j int) schedule.Tile { return p.WTile(i, j) })
+	f.MinDY = tensorMin(d.M, t.Tm, d.N, t.Tn, func(i, j int) schedule.Tile { return p.DYTile(i, j) })
+	f.FillFwd = gridMin(d, t, func(cm, ck, cn int) int64 { return arr.TileCycles(cm, ck, cn) })
+	f.FillDX = gridMin(d, t, func(cm, ck, cn int) int64 { return arr.TileCycles(cm, cn, ck) })
+	f.FillDW = gridMin(d, t, func(cm, ck, cn int) int64 { return arr.TileCycles(ck, cm, cn) })
 	return f
 }
 
@@ -184,21 +247,43 @@ func MemFloorCycles(cfg config.NPU, bytes, calls int64) int64 {
 // per-core compute equals the parent total, and aggregate traffic still
 // meets the distinct-tile floor (each core's channel has cfg.BytesPerCycle
 // of its own).
-func passBounds(cfg config.NPU, comp, bytes, bytesSeq, calls int64) PassBounds {
+//
+// Single-core makespans additionally carry the pipeline-fill terms
+// (ROADMAP §3). The engine's per-op recurrence places each op's DMA block
+// before its compute block, so on one core:
+//
+//   - the first op's operands are fetched cold before any compute starts
+//     (fillMem lower-bounds that DMA prefix: the smallest cold operand
+//     fetch any first op can make), hence makespan >= fillMem + comp;
+//   - the last grid op's compute runs after its DMA block, which is after
+//     every earlier transfer, hence makespan >= mem + fillComp (partition
+//     reductions are costed outside the op stream, so the stream's last op
+//     is always a grid op).
+//
+// Multi-core runs keep the per-core-mean form: a core's first op may reuse
+// another partition's timing slack, and the fill terms are per-stream, not
+// per-mean.
+func passBounds(cfg config.NPU, comp, bytes, bytesSeq, calls, fillMem, fillComp int64) PassBounds {
 	cores := int64(cfg.Cores)
 	if cores < 1 {
 		cores = 1
 	}
 	mem := MemFloorCycles(cfg, bytes, calls)
 	memSeq := MemFloorCycles(cfg, bytesSeq, calls)
+	cycles := max(comp/cores, mem/cores)
+	cyclesSeq := max(comp/cores, memSeq/cores)
+	if cores == 1 {
+		cycles = max(comp+fillMem, mem+fillComp)
+		cyclesSeq = max(comp+fillMem, memSeq+fillComp)
+	}
 	return PassBounds{
 		Compute:    comp,
 		Mem:        mem,
-		Cycles:     max(comp/cores, mem/cores),
+		Cycles:     cycles,
 		Traffic:    bytes,
 		TrafficSeq: bytesSeq,
 		MemSeq:     memSeq,
-		CyclesSeq:  max(comp/cores, memSeq/cores),
+		CyclesSeq:  cyclesSeq,
 	}
 }
 
@@ -208,7 +293,9 @@ func passBounds(cfg config.NPU, comp, bytes, bytesSeq, calls int64) PassBounds {
 // bounds cheaply as bandwidth-only axes vary.
 func (f Floors) Forward(cfg config.NPU) PassBounds {
 	bytes := f.X + f.W + f.Y
-	return passBounds(cfg, f.CompFwd, bytes, bytes, f.Ops)
+	// The first forward op fetches one X and one W tile cold (two calls).
+	fillMem := MemFloorCycles(cfg, f.MinX+f.MinW, 2)
+	return passBounds(cfg, f.CompFwd, bytes, bytes, f.Ops, fillMem, f.FillFwd)
 }
 
 // ForwardBounds lower-bounds one layer's forward pass.
@@ -233,7 +320,7 @@ func BackwardBounds(cfg config.NPU, p schedule.TileParams, skipDX, freeDY bool) 
 // Backward assembles the backward-pass bounds from precomputed floors (see
 // BackwardBounds for semantics).
 func (f Floors) Backward(cfg config.NPU, skipDX, freeDY bool) PassBounds {
-	var reads, writes, comp, calls int64
+	var reads, writes, comp, calls, fillBytes, fillComp int64
 	if skipDX {
 		reads = f.X
 		if !freeDY {
@@ -242,6 +329,12 @@ func (f Floors) Backward(cfg config.NPU, skipDX, freeDY bool) PassBounds {
 		writes = f.DW
 		comp = f.CompDW
 		calls = f.Ops
+		// A dW op fetches dY and X cold; under freeDY the dY fetch is free.
+		fillBytes = f.MinX
+		if !freeDY {
+			fillBytes += f.MinDY
+		}
+		fillComp = f.FillDW
 	} else {
 		reads = f.X + f.W
 		if !freeDY {
@@ -250,6 +343,14 @@ func (f Floors) Backward(cfg config.NPU, skipDX, freeDY bool) PassBounds {
 		writes = f.DX + f.DW
 		comp = f.CompDX + f.CompDW
 		calls = 2 * f.Ops
+		// The first op is either dX (fetching dY+W) or dW (fetching dY+X);
+		// under freeDY the dW kernel's dY fetches cost nothing.
+		if freeDY {
+			fillBytes = min(f.MinDY+f.MinW, f.MinX)
+		} else {
+			fillBytes = f.MinDY + min(f.MinW, f.MinX)
+		}
+		fillComp = min(f.FillDX, f.FillDW)
 	}
 	bytes := reads + writes
 	// The sequential baseline flushes the scratchpad between its two
@@ -258,5 +359,6 @@ func (f Floors) Backward(cfg config.NPU, skipDX, freeDY bool) PassBounds {
 	if !skipDX && !freeDY {
 		bytesSeq += f.DY
 	}
-	return passBounds(cfg, comp, bytes, bytesSeq, calls)
+	fillMem := MemFloorCycles(cfg, fillBytes, 2)
+	return passBounds(cfg, comp, bytes, bytesSeq, calls, fillMem, fillComp)
 }

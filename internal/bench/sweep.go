@@ -6,6 +6,7 @@ import (
 	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/dse"
+	"igosim/internal/sim"
 	"igosim/internal/workload"
 )
 
@@ -63,6 +64,14 @@ func rootN(x float64, n int) float64 {
 }
 
 // SweepResult is the summary cmd/benchjson serializes as BENCH_sweep.json.
+// Resolutions and Replays describe the two-phase executor's work split
+// over the sweep (DESIGN.md §3l). Resolutions is the residency cache's
+// distinct-key census — the number of logical (program, capacity, policy)
+// traces the grid needs — which is parallelism-independent and gated
+// exactly. Replays counts replay events, which can lose a few to
+// miss races under -j (two workers resolving one key), so it is gated as
+// wall. ReuseRatio is replays per resolution — the factor the residency
+// cache saves on the grid.
 type SweepResult struct {
 	Points       int     `json:"points"`
 	Simulated    int     `json:"simulated"`
@@ -70,22 +79,34 @@ type SweepResult struct {
 	PointsPerSec float64 `json:"points_per_sec"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	FrontierSize int     `json:"frontier_size"`
+	Resolutions  int64   `json:"resolutions"`
+	Replays      int64   `json:"replays"`
+	ReuseRatio   float64 `json:"reuse_ratio"`
 }
 
 // RunSweep executes the canonical sweep once with pruning at the default
 // relaxations and summarizes it; wallSeconds comes from the caller so this
-// package stays wall-clock free.
+// package stays wall-clock free. Caches are dropped first so the
+// resolution/replay counts describe this sweep alone, cold, reproducibly.
 func RunSweep(wallSeconds float64) (SweepResult, error) {
+	core.ResetCaches()
+	before := sim.ResolvedPhaseStats()
 	space := SweepSpace()
 	res, err := dse.Run(space, dse.Options{Prune: true, Eps: -1, EpsRed: -1})
 	if err != nil {
 		return SweepResult{}, err
 	}
+	after := sim.ResolvedPhaseStats()
 	out := SweepResult{
 		Points:       space.Size(),
 		Simulated:    res.Simulated,
 		WallSeconds:  wallSeconds,
 		FrontierSize: len(res.Frontier),
+		Resolutions:  sim.ResolvedCacheStats().Entries,
+		Replays:      after.Replays - before.Replays,
+	}
+	if out.Resolutions > 0 {
+		out.ReuseRatio = float64(out.Replays) / float64(out.Resolutions)
 	}
 	if n := len(res.Rows); n > 0 {
 		out.PrunedFrac = float64(res.Pruned) / float64(n)

@@ -126,6 +126,9 @@ func baselineChoices(cfg config.NPU, p schedule.TileParams) ordersVal {
 	return ordersCache.GetOrCompute(keyFor(cfg, p), func() ordersVal {
 		single := cfg
 		single.Cores = 1
+		// Candidates are emitted from the canonical shape so their retained
+		// programs are shared; cycle outcomes are renaming-invariant.
+		np := tuneParams(p)
 
 		// The baseline explores the two reduction-inner loop orders per GEMM:
 		// conventional accelerators (TPUv3 + XLA) accumulate each output tile's
@@ -133,20 +136,25 @@ func baselineChoices(cfg config.NPU, p schedule.TileParams) ordersVal {
 		// orders (which park partial sums in the SPM) are not part of the
 		// baseline space — those appear only through the paper's
 		// transformations.
+		pn := baselinePanel(single, np)
 		var v ordersVal
 		best := int64(-1)
 		for _, c := range []dxCandidate{dxMK, dxKM} {
-			r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: baselineDXOps(single, p, c)})
-			if best < 0 || r.Cycles < best {
-				best = r.Cycles
+			cyc := tuneCycles(single, pn.dxProg(c), func() schedule.Schedule {
+				return schedule.Schedule{Ops: baselineDXOps(single, np, c)}
+			})
+			if best < 0 || cyc < best {
+				best = cyc
 				v.dx = c
 			}
 		}
 		best = -1
 		for _, c := range []dwCandidate{dwKN, dwNK} {
-			r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: baselineDWOps(single, p, c)})
-			if best < 0 || r.Cycles < best {
-				best = r.Cycles
+			cyc := tuneCycles(single, pn.dwProg(c), func() schedule.Schedule {
+				return schedule.Schedule{Ops: baselineDWOps(single, np, c)}
+			})
+			if best < 0 || cyc < best {
+				best = cyc
 				v.dw = c
 			}
 		}
@@ -192,21 +200,39 @@ func interleaveChoices(cfg config.NPU, p schedule.TileParams) ordersVal {
 	return ilvCache.GetOrCompute(keyFor(cfg, p), func() ordersVal {
 		single := cfg
 		single.Cores = 1
+		np := tuneParams(p)
 		var v ordersVal
 		best := int64(-1)
+		// On a bandwidth sweep the candidate panel is already retained, so
+		// this loop is pure replays of shared programs (DESIGN.md §3l).
+		if set := mergePanel(single, np); set != nil {
+			for i := range set {
+				cyc := sim.RunProgram(single, sim.Options{}, set[i].prog).Cycles
+				if best < 0 || cyc < best {
+					best = cyc
+					v = set[i].v
+				}
+			}
+			return v
+		}
+		// Interpreter fallback: emit each combination in the same order the
+		// panel lists them, so ties break identically across executors.
+		dxLen := np.OpCount()
 		for _, dc := range []dxCandidate{dxMK, dxKM} {
-			dx := baselineDXOps(single, p, dc)
 			for _, wc := range []dwCandidate{dwKN, dwNK} {
-				dw := baselineDWOps(single, p, wc)
 				for _, blk := range interleaveBlocks {
 					// A block at least as long as a stream degenerates to the
 					// sequential baseline; the fusion must actually alternate.
-					if blk > 1 && blk >= len(dx) {
+					if blk > 1 && blk >= dxLen {
 						continue
 					}
-					r := sim.RunSchedules(single, sim.Options{}, schedule.Schedule{Ops: mergeStreams(dx, dw, blk)})
-					if best < 0 || r.Cycles < best {
-						best = r.Cycles
+					cyc := tuneCycles(single, nil, func() schedule.Schedule {
+						return schedule.Schedule{Ops: mergeStreams(
+							baselineDXOps(single, np, dc),
+							baselineDWOps(single, np, wc), blk)}
+					})
+					if best < 0 || cyc < best {
+						best = cyc
 						v = ordersVal{dx: dc, dw: wc, block: blk}
 					}
 				}
@@ -224,11 +250,11 @@ func mergeStreams(dx, dw []schedule.Op, block int) []schedule.Op {
 	}
 	ops := make([]schedule.Op, 0, len(dx)+len(dw))
 	for i := 0; i < len(dx) || i < len(dw); i += block {
-		for j := i; j < min(i+block, len(dx)); j++ {
-			ops = append(ops, dx[j])
+		if i < len(dx) {
+			ops = append(ops, dx[i:min(i+block, len(dx))]...)
 		}
-		for j := i; j < min(i+block, len(dw)); j++ {
-			ops = append(ops, dw[j])
+		if i < len(dw) {
+			ops = append(ops, dw[i:min(i+block, len(dw))]...)
 		}
 	}
 	return ops
@@ -277,12 +303,24 @@ func BestOrderSimulated(cfg config.NPU, p schedule.TileParams) Order {
 	return reCache.GetOrCompute(keyFor(cfg, p), func() Order {
 		single := cfg
 		single.Cores = 1
+		np := tuneParams(p)
 		best := OnlyInterleave
-		bestCycles := sim.RunSchedules(single, sim.Options{}, TunedInterleave(single, p)).Cycles
-		if r := sim.RunSchedules(single, sim.Options{}, FusedDXMajor(single, p)); r.Cycles < bestCycles {
-			best, bestCycles = DXMajor, r.Cycles
+		// The interleave candidate is exactly the joint tuner's winning
+		// merge, so its retained program (and thus its resolved trace) is
+		// shared with the tuner's exploration above.
+		v := interleaveChoices(single, np)
+		bestCycles := tuneCycles(single, mergePanel(single, np).progFor(v), func() schedule.Schedule {
+			return TunedInterleave(single, np)
+		})
+		mj := majorPanelFor(single, np)
+		if cyc := tuneCycles(single, mj.dxMajorProg(), func() schedule.Schedule {
+			return FusedDXMajor(single, np)
+		}); cyc < bestCycles {
+			best, bestCycles = DXMajor, cyc
 		}
-		if r := sim.RunSchedules(single, sim.Options{}, FusedDWMajor(single, p)); r.Cycles < bestCycles {
+		if cyc := tuneCycles(single, mj.dwMajorProg(), func() schedule.Schedule {
+			return FusedDWMajor(single, np)
+		}); cyc < bestCycles {
 			best = DWMajor
 		}
 		return best

@@ -113,5 +113,10 @@ func ResetCaches() {
 	ilvCache.Reset()
 	reCache.Reset()
 	progCache.Reset()
+	basePanels.Reset()
+	mergePanels.Reset()
+	majorPanels.Reset()
+	partCache.Reset()
+	sim.ResetResolvedCache()
 	stats.ResetAllCacheCounters()
 }

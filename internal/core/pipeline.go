@@ -212,22 +212,35 @@ func runPartitionedSingle(cfg config.NPU, opts sim.Options, p schedule.TileParam
 	if len(plan.Parts) < 2 {
 		return LayerOutcome{}, false
 	}
-	// Partitions are separate kernels on one core: RunSchedules flushes the
-	// scratchpad between them, so this matches per-part FlushSPM exactly
-	// while letting Options.Compiled pick the executor.
-	scheds := make([]schedule.Schedule, 0, len(plan.Parts))
-	orders := make(map[Order]bool)
-	for _, sub := range plan.Parts {
-		sched, o := RearrangedTuned(cfg, sub)
-		orders[o] = true
-		scheds = append(scheds, sched)
+	// Partitions are separate kernels on one core: the scratchpad is flushed
+	// between them, so this matches per-part FlushSPM exactly. Untraced
+	// compiled runs replay a shared pre-lowered program (per-part orders
+	// resolved first, mirroring backwardProgram); otherwise the kernels are
+	// emitted and simulated directly, letting Options.Compiled pick the
+	// executor.
+	var out LayerOutcome
+	var orderList []Order
+	if useProgramCache(opts) {
+		if prog, orders, ok := partitionedProgram(cfg, p, scheme, parts, plan); ok {
+			out = outcomeFromResult(sim.RunProgram(cfg, opts, prog))
+			orderList = orders
+		}
 	}
-	out := outcomeFromResult(sim.RunSchedules(cfg, opts, scheds...))
+	if orderList == nil {
+		scheds := make([]schedule.Schedule, 0, len(plan.Parts))
+		orderList = make([]Order, 0, len(plan.Parts))
+		for _, sub := range plan.Parts {
+			sched, o := RearrangedTuned(cfg, sub)
+			orderList = append(orderList, o)
+			scheds = append(scheds, sched)
+		}
+		out = outcomeFromResult(sim.RunSchedules(cfg, opts, scheds...))
+	}
 	out.addReductions(plan.ReduceResults(cfg))
 	out.Dims = p.Dims
 	out.Scheme = scheme
 	out.Parts = len(plan.Parts)
-	for o := range orders {
+	for _, o := range orderList {
 		out.Order = o // representative order (identical across equal splits)
 	}
 	return out, true

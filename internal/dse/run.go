@@ -296,7 +296,7 @@ func (st *sweepState) computeShard(s runner.Shard) []Row {
 			}
 			break
 		}
-		sims := runner.Map(wave, func(i int) Row { return st.simulate(rows[i]) })
+		sims := st.simulateWave(rows, wave)
 		for k, i := range wave {
 			rows[i] = sims[k]
 			st.front.Add(simPoint{sims[k].Index, sims[k].IgoCycles, sims[k].Traffic, sims[k].Reduction})
@@ -310,6 +310,48 @@ func (st *sweepState) computeShard(s runner.Shard) []Row {
 
 func boundsOf(r Row) Bounds {
 	return Bounds{Cycles: r.CyclesLB, Traffic: r.TrafficLB, RedCap: r.RedCap, Balance: r.Balance}
+}
+
+// simulateWave runs one wave's simulations, grouped by residency subkey:
+// the point axes minus bandwidth ({cores, SPM, TkCap, policy}) determine
+// the resolved hit/miss traces a simulation produces, so a wave holding a
+// bandwidth sweep of one configuration resolves each trace exactly once.
+// The first point of each subkey group runs in a leader pass; the rest run
+// afterwards and replay the leaders' traces from the residency cache
+// instead of racing the same resolution across workers. Results are
+// scattered back in wave order, so classification and frontier updates are
+// byte-identical to the ungrouped loop at any parallelism.
+func (st *sweepState) simulateWave(rows []Row, wave []int) []Row {
+	type subkey struct {
+		cores  int
+		spmMiB float64
+		tkCap  int
+		pol    core.Policy
+	}
+	sims := make([]Row, len(wave))
+	var leaders, followers []int // positions within the wave
+	seen := make(map[subkey]bool, len(wave))
+	for k, i := range wave {
+		p := st.space.Point(rows[i].Index)
+		sk := subkey{p.Cores, p.SPMMiB, p.TkCap, p.Policy}
+		if seen[sk] {
+			followers = append(followers, k)
+		} else {
+			seen[sk] = true
+			leaders = append(leaders, k)
+		}
+	}
+	lead := runner.Map(leaders, func(k int) Row { return st.simulate(rows[wave[k]]) })
+	for j, k := range leaders {
+		sims[k] = lead[j]
+	}
+	if len(followers) > 0 {
+		fol := runner.Map(followers, func(k int) Row { return st.simulate(rows[wave[k]]) })
+		for j, k := range followers {
+			sims[k] = fol[j]
+		}
+	}
+	return sims
 }
 
 // simulate runs one point's baseline and point-policy training steps and

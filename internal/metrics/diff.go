@@ -75,19 +75,27 @@ var wallLeaves = map[string]bool{
 	"p50_us":         true,
 	"p99_us":         true,
 	"rps":            true,
+	// Two-phase executor statistics that lose a few events to miss races
+	// under -j (the deterministic counterpart, "resolutions", is the
+	// residency cache's distinct-key census and is gated exactly).
+	"replays":            true,
+	"reuse_ratio":        true,
+	"residency_hit_rate": true,
 }
 
 // higherBetter are leaf field names where an increase is an improvement;
 // every other numeric leaf is treated as a cost.
 var higherBetter = map[string]bool{
-	"speedup":         true,
-	"mb_s":            true,
-	"points_per_sec":  true,
-	"hit_rate":        true,
-	"reduction":       true,
-	"pruned_fraction": true,
-	"allocs_ratio":    true,
-	"rps":             true,
+	"speedup":            true,
+	"mb_s":               true,
+	"points_per_sec":     true,
+	"hit_rate":           true,
+	"reduction":          true,
+	"pruned_fraction":    true,
+	"allocs_ratio":       true,
+	"rps":                true,
+	"reuse_ratio":        true,
+	"residency_hit_rate": true,
 }
 
 // Regression is one gate violation.

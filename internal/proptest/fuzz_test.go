@@ -341,3 +341,19 @@ func TestRefmodelSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzResolvedReplay fuzzes the two-phase execution path in case space:
+// a trace resolved at the decoded case's base hardware point must replay
+// bit-exactly at every cost variant against a fresh engine run and the
+// refmodel oracle (CheckResolvedReplay), in both dY regimes.
+func FuzzResolvedReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x04, 0x2e, 0x71, 0x1b, 0xc5, 0x08, 0x93, 0x60, 0x12, 0xfa})
+	f.Add([]byte{0xb1, 0x6b, 0x00, 0xd5, 0x27, 0x4c, 0x8e, 0x39, 0xf0, 0x1e, 0x66, 0xa2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := GenCase(FromBytes(data))
+		if err := CheckResolvedReplay(c); err != nil {
+			t.Fatalf("resolved-replay: %v\n  case: %v", err, c)
+		}
+	})
+}

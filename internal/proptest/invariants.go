@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"igosim/internal/analytic"
+	"igosim/internal/config"
 	"igosim/internal/core"
 	"igosim/internal/dram"
 	"igosim/internal/refmodel"
@@ -29,6 +30,7 @@ func Invariants() []Invariant {
 		{"structure", CheckStructure},
 		{"oracle", CheckOracle},
 		{"compiled-equivalence", CheckCompiledEquivalence},
+		{"resolved-replay", CheckResolvedReplay},
 		{"cycle-bounds", CheckCycleBounds},
 		{"conservation", CheckConservation},
 		{"partition", CheckPartition},
@@ -88,6 +90,63 @@ func CheckCompiledEquivalence(c Case) error {
 		want := refmodel.ReplaySchedules(cfg, refmodel.Options{FreeDYOnDW: free}, scheds...)
 		if err := refmodel.Compare(compiled, want); err != nil {
 			return fmt.Errorf("freeDY=%v: compiled vs oracle: %w", free, err)
+		}
+	}
+	return nil
+}
+
+// costVariants returns hardware points that re-price the base case's op
+// stream without touching emission (ElemBytes), residency (SPMBytes) or
+// partitioning (Cores): DRAM bandwidth, burst latency, the clock, and the
+// array-timing axes. These are exactly the axes a resolved trace claims
+// invariance over, so each variant must replay bit-exactly from a trace
+// resolved at the base point.
+func costVariants(base config.NPU) []config.NPU {
+	wide := base
+	wide.DRAMBandwidth *= 2
+	slow := base
+	slow.DRAMLatency += 7
+	slow.DRAMBandwidth = max(1e9, base.DRAMBandwidth/3)
+	clocked := base
+	clocked.DRAMLatency = 0
+	clocked.FrequencyHz = base.FrequencyHz / 2
+	swapped := base
+	swapped.ArrayRows, swapped.ArrayCols = base.ArrayCols, base.ArrayRows
+	if swapped.Dataflow == config.OutputStationary {
+		swapped.Dataflow = config.WeightStationary
+	} else {
+		swapped.Dataflow = config.OutputStationary
+	}
+	return []config.NPU{wide, slow, clocked, swapped}
+}
+
+// CheckResolvedReplay is the two-phase execution property (DESIGN.md §3l):
+// a trace resolved once at a base hardware point must replay bit-exactly —
+// full Result equality — at every cost variant, agreeing with both a fresh
+// one-shot engine run and the refmodel oracle at that variant, in both
+// dY regimes. This is what licenses the sweep and serving layers to pay
+// residency resolution once per (program, capacity, policy) key and
+// re-price the trace thousands of times.
+func CheckResolvedReplay(c Case) error {
+	base := c.Config()
+	scheds := c.Schedules()
+	prog := sim.CompileSchedules(scheds...)
+	for _, free := range []bool{false, true} {
+		opts := sim.Options{FreeDYOnDW: free}
+		_, rt := sim.ResolveProgram(base, opts, prog)
+		if rt == nil {
+			return fmt.Errorf("freeDY=%v: resolution yielded no trace", free)
+		}
+		for vi, cfg := range costVariants(base) {
+			replayed := rt.Replay(cfg)
+			engine, _ := sim.ResolveProgram(cfg, opts, prog)
+			if !reflect.DeepEqual(replayed, engine) {
+				return fmt.Errorf("freeDY=%v variant %d: replay %+v != engine %+v", free, vi, replayed, engine)
+			}
+			want := refmodel.ReplaySchedules(cfg, refmodel.Options{FreeDYOnDW: free}, scheds...)
+			if err := refmodel.Compare(replayed, want); err != nil {
+				return fmt.Errorf("freeDY=%v variant %d: replay vs oracle: %w", free, vi, err)
+			}
 		}
 	}
 	return nil

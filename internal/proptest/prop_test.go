@@ -31,6 +31,11 @@ func TestPropertyCompiledEquivalence(t *testing.T) {
 	Run(t, "compiled-equivalence", casesPerInvariant, CheckCompiledEquivalence)
 }
 
+func TestPropertyResolvedReplay(t *testing.T) {
+	t.Parallel()
+	Run(t, "resolved-replay", casesPerInvariant, CheckResolvedReplay)
+}
+
 func TestPropertyCycleBounds(t *testing.T) {
 	t.Parallel()
 	Run(t, "cycle-bounds", casesPerInvariant, CheckCycleBounds)

@@ -85,6 +85,48 @@ func (c *Cache[K, V]) GetOrCompute(k K, compute func() V) V {
 	return v
 }
 
+// PutIfAbsent stores v under k only if no value is resident, and returns
+// the resident value either way. Losers of a miss race therefore adopt the
+// winner's value instead of overwriting it — the property downstream
+// identity caches need when the cached value's *pointer* is itself a cache
+// key (one canonical value per logical key, regardless of -j).
+func (c *Cache[K, V]) PutIfAbsent(k K, v V) V {
+	s := c.shard(k)
+	s.mu.Lock()
+	if cur, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return cur
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	return v
+}
+
+// GetOrComputeShared is GetOrCompute with canonical results: under a miss
+// race both workers compute, but PutIfAbsent makes them converge on a
+// single resident value, so callers that key further caches by the
+// returned value (e.g. by a *schedule.Program pointer) see exactly one
+// representative per logical key at any parallelism.
+func (c *Cache[K, V]) GetOrComputeShared(k K, compute func() V) V {
+	if v, ok := c.Get(k); ok {
+		return v
+	}
+	return c.PutIfAbsent(k, compute())
+}
+
+// Range calls f for every cached key in unspecified order (diagnostics
+// and determinism tests only; holds each shard's read lock during f).
+func (c *Cache[K, V]) Range(f func(K)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k := range s.m {
+			f(k)
+		}
+		s.mu.RUnlock()
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	n := 0

@@ -103,10 +103,22 @@ func NewCompiler() *Compiler {
 	return c
 }
 
-// Reset empties the symbol table while keeping its capacity, so a pooled
-// compiler reinterns a same-sized program without allocating.
+// maxRetainedTable caps the probe-table size a pooled compiler keeps
+// across Reset. Clearing the table is O(len(table)), so one giant program
+// must not tax every later small compilation with a multi-MiB clear —
+// oversized tables are dropped and regrown on demand instead.
+const maxRetainedTable = 1 << 15
+
+// Reset empties the symbol table while keeping its capacity (up to
+// maxRetainedTable), so a pooled compiler reinterns a same-sized program
+// without allocating.
 func (c *Compiler) Reset() {
 	c.keys = c.keys[:0]
+	if len(c.table) > maxRetainedTable {
+		c.table = nil
+		c.rehash(2048)
+		return
+	}
 	for i := range c.table {
 		c.table[i] = freeSlot
 	}
@@ -184,6 +196,17 @@ func (c *Compiler) NumTiles() int { return len(c.keys) }
 // Table snapshots the symbol table. Valid for all code compiled so far;
 // take it after the last Compile*/Intern call.
 func (c *Compiler) Table() TileTable { return TileTable{Keys: c.keys} }
+
+// DetachTable returns the symbol table and transfers ownership of the key
+// storage to the caller: the compiler forgets its keys, so a pooled
+// compiler can hand a retained program its table without aliasing. The
+// probe table still references the detached keys until the next Reset,
+// which every pooled reuse performs first.
+func (c *Compiler) DetachTable() TileTable {
+	t := TileTable{Keys: c.keys}
+	c.keys = nil
+	return t
+}
 
 // Lower compiles a single op.
 func (c *Compiler) Lower(op *Op) CompiledOp {

@@ -81,6 +81,12 @@ type Result struct {
 	// HitRate = (Requests − DistinctKeys) / Requests: the exact hit rate
 	// of a compute-once server (see the package comment).
 	HitRate float64 `json:"hit_rate"`
+	// ResidencyHitRate is the resolved-trace (residency) cache's hit rate
+	// over the run: result-cache misses that shared a residency key with a
+	// prior request skipped hit/miss resolution and only replayed costs
+	// (DESIGN.md §3l). The caller stamps it after the run; wall domain —
+	// concurrent misses on one key can race the admission check.
+	ResidencyHitRate float64 `json:"residency_hit_rate"`
 
 	// Wall half: latency quantiles, throughput, elapsed time.
 	P50Micros   float64 `json:"p50_us"`

@@ -104,6 +104,61 @@ func (s CacheSnapshot) String() string {
 		s.Name, s.Hits, s.Lookups(), 100*s.HitRate())
 }
 
+// PhaseCounters splits a two-phase evaluator's executions into expensive
+// resolutions and cheap replays. Wall domain like raw hit/miss splits: under
+// a miss race two workers may both resolve the same key, so the executed
+// counts vary legitimately with -j (the deterministic view is the owning
+// cache's distinct-key census). Construct with NewPhaseCounters.
+//
+//lint:registered
+type PhaseCounters struct {
+	name        string
+	resolutions atomic.Int64
+	replays     atomic.Int64
+}
+
+// Resolution records one full (expensive) resolution phase executed.
+func (p *PhaseCounters) Resolution() { p.resolutions.Add(1) }
+
+// Replay records one cheap replay executed from a resolved artifact.
+func (p *PhaseCounters) Replay() { p.replays.Add(1) }
+
+// Reset zeroes both counters.
+func (p *PhaseCounters) Reset() {
+	p.resolutions.Store(0)
+	p.replays.Store(0)
+}
+
+// Snapshot returns the current phase split.
+func (p *PhaseCounters) Snapshot() PhaseSnapshot {
+	return PhaseSnapshot{
+		Name:        p.name,
+		Resolutions: p.resolutions.Load(),
+		Replays:     p.replays.Load(),
+	}
+}
+
+// PhaseSnapshot is one evaluator's phase split at a point in time.
+type PhaseSnapshot struct {
+	Name        string
+	Resolutions int64
+	Replays     int64
+}
+
+// ReuseRatio returns replays per resolution (0 with no resolutions): how
+// many cheap passes each expensive pass amortized over.
+func (s PhaseSnapshot) ReuseRatio() float64 {
+	if s.Resolutions > 0 {
+		return float64(s.Replays) / float64(s.Resolutions)
+	}
+	return 0
+}
+
+// NewPhaseCounters creates phase counters under the given name.
+func NewPhaseCounters(name string) *PhaseCounters {
+	return &PhaseCounters{name: name}
+}
+
 // cacheRegistry tracks every registered cache for CacheReport.
 var cacheRegistry struct {
 	mu   sync.Mutex
